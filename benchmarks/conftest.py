@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each benchmark reproduces one figure of the paper by running the
+corresponding experiment sweep once (``benchmark.pedantic`` with a single
+round — the sweep itself already aggregates many measured executions) and
+printing the series table the figure plots.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Fig. 10 — impact of Procedure Optimize on chain queries.
+
+Paper result: exploiting feature (b) of q-hypertree decompositions —
+deleting λ atoms whose bounding role a child subsumes — visibly reduces
+evaluation time on the chain workload, increasingly so with query length.
+"""
+
+from repro.bench.experiments import run_fig10
+from repro.bench.reporting import render_series_table
+
+from .conftest import run_once
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, run_fig10, scale="quick")
+    assert result.consistent_answers()
+    print()
+    print(render_series_table(result, point_label="atoms"))
+
+    for point in result.points():
+        with_opt = result.record_for("q-hd+optimize", point)
+        without = result.record_for("q-hd-no-optimize", point)
+        if with_opt.finished and without.finished:
+            assert with_opt.work <= without.work
+
+    # At 10 atoms the savings are substantial (the paper's growing gap).
+    with_opt = result.record_for("q-hd+optimize", 10)
+    without = result.record_for("q-hd-no-optimize", 10)
+    if with_opt.finished and without.finished:
+        assert with_opt.work < without.work * 0.8
+
+    # Optimize actually removed λ occurrences on the longer chains.
+    assert any(
+        record.extra.get("removed", 0) > 0
+        for record in result.series("q-hd+optimize")
+    )

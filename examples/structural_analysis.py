@@ -1,0 +1,58 @@
+"""Structural analysis: compare every decomposition measure on real queries.
+
+The paper's introduction surveys the structural methods that preceded
+hypertree decompositions — biconnected components (Freuder), tree
+decompositions (Robertson–Seymour) — and argues hypertree width subsumes
+them for query hypergraphs.  This example computes all three measures on
+the TPC-H benchmark queries and the synthetic families, showing the gaps
+that motivate the paper's method (e.g. a single wide atom costs hypertree
+width 1 but blows up the primal-graph treewidth).
+
+Run:  python examples/structural_analysis.py
+"""
+
+from repro.hypergraph import Hypergraph, cycle_hypergraph, line_hypergraph
+from repro.hypergraph.treedecomp import structural_summary
+from repro.query.parser import parse_sql
+from repro.query.translate import sql_to_conjunctive
+from repro.workloads.tpch import TPCH_SCHEMA
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+
+def show(label: str, hypergraph: Hypergraph) -> None:
+    summary = structural_summary(hypergraph)
+    print(
+        f"{label:<14} atoms={summary['edges']:>2}  vars={summary['variables']:>2}  "
+        f"acyclic={str(summary['acyclic']):<5}  hw={summary['hypertree_width']!s:>2}  "
+        f"tw≤{summary.get('treewidth_min_fill', '-')!s:>2}  "
+        f"bicomp={summary['biconnected_width']:>2}  "
+        f"hinge={summary['hinge_degree']:>2}"
+    )
+
+
+def main() -> None:
+    print("TPC-H benchmark queries:")
+    schema = TPCH_SCHEMA.as_mapping()
+    for name in sorted(TPCH_QUERIES):
+        sql = TPCH_QUERIES[name]()
+        translation = sql_to_conjunctive(parse_sql(sql), schema, name=name)
+        show(name, translation.query.hypergraph())
+
+    print("\nSynthetic families:")
+    show("line(8)", line_hypergraph(8))
+    show("chain(8)", cycle_hypergraph(8))
+
+    print("\nThe motivating gap — one wide atom:")
+    wide = Hypergraph.from_dict(
+        {"wide": [f"X{i}" for i in range(8)], "link": ["X0", "Y"]}
+    )
+    show("wide-atom", wide)
+    print(
+        "\nhypertree width 1 despite primal treewidth 7: a single high-arity\n"
+        "atom is one λ entry for a hypertree decomposition but a clique for\n"
+        "the primal-graph methods — the gap the paper's method exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip cannot build PEP 660 editable wheels (no `wheel` package).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,123 @@
+"""Exporting experiment results: CSV, JSON, and Markdown.
+
+``EXPERIMENTS.md`` is generated from real runs via
+:func:`render_markdown_report`; the CSV/JSON writers make the raw series
+available to external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.bench.harness import DNF, ExperimentResult, RunRecord
+
+PathLike = Union[str, Path]
+
+
+def result_to_rows(result: ExperimentResult) -> List[Dict[str, object]]:
+    """Flatten an experiment into one dict per record."""
+    rows = []
+    for record in result.records:
+        rows.append(
+            {
+                "experiment": result.experiment_id,
+                "system": record.system,
+                "point": record.point,
+                "work": record.work,
+                "simulated_seconds": record.simulated_seconds,
+                "elapsed_seconds": record.elapsed_seconds,
+                "finished": record.finished,
+                "answer_rows": record.answer_rows,
+            }
+        )
+    return rows
+
+
+def write_csv(results: Sequence[ExperimentResult], path: PathLike) -> None:
+    """Write all records of several experiments to one CSV file."""
+    fieldnames = [
+        "experiment",
+        "system",
+        "point",
+        "work",
+        "simulated_seconds",
+        "elapsed_seconds",
+        "finished",
+        "answer_rows",
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for result in results:
+            writer.writerows(result_to_rows(result))
+
+
+def write_json(results: Sequence[ExperimentResult], path: PathLike) -> None:
+    """Write experiments as a JSON document (records + notes)."""
+    doc = [
+        {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "notes": result.notes,
+            "records": result_to_rows(result),
+        }
+        for result in results
+    ]
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def render_markdown_table(
+    result: ExperimentResult,
+    metric: str = "work",
+    point_label: str = "x",
+) -> str:
+    """One experiment as a GitHub-flavoured Markdown table."""
+    systems = result.systems()
+    lines = [
+        "| " + " | ".join([point_label] + systems) + " |",
+        "|" + "---|" * (len(systems) + 1),
+    ]
+    for point in result.points():
+        cells = [str(point)]
+        for system in systems:
+            record = result.record_for(system, point)
+            if record is None:
+                cells.append("–")
+            elif not record.finished:
+                cells.append(DNF)
+            else:
+                value = getattr(record, metric)
+                cells.append(f"{value:.3f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(
+    results: Sequence[ExperimentResult],
+    paper_notes: Optional[Dict[str, str]] = None,
+    metric: str = "work",
+) -> str:
+    """A full Markdown report: one section per experiment.
+
+    Args:
+        paper_notes: optional ``{experiment_id: text}`` describing what the
+            paper's figure shows, printed above each measured table.
+    """
+    paper_notes = paper_notes or {}
+    sections = []
+    for result in results:
+        sections.append(f"## {result.experiment_id} — {result.title}\n")
+        note = paper_notes.get(result.experiment_id)
+        if note:
+            sections.append(f"**Paper:** {note}\n")
+        sections.append(f"**Measured ({metric}):**\n")
+        sections.append(render_markdown_table(result, metric=metric))
+        if result.notes:
+            sections.append("")
+            sections.extend(f"*{n}*" for n in result.notes)
+        sections.append("")
+    return "\n".join(sections)

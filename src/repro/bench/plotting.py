@@ -1,0 +1,84 @@
+"""ASCII line charts for experiment results.
+
+The paper's figures are execution-time-vs-parameter line charts; this
+module renders the same series in plain text (no plotting dependency), so
+``hdqo experiment fig8a --chart`` and the examples can show shapes, not
+just tables.  Values are plotted on a log10 scale — the only scale on which
+exponential baselines and polynomial q-HD fit one frame, exactly why the
+paper's own figures read best logarithmically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentResult, RunRecord
+
+MARKERS = "ox+*#@%&"
+
+
+def render_ascii_chart(
+    result: ExperimentResult,
+    metric: str = "work",
+    height: int = 12,
+    log_scale: bool = True,
+) -> str:
+    """Render every system's series as an ASCII line chart.
+
+    DNF points are drawn as ``!`` pinned to the top row.  Returns a block
+    of text: chart, x-axis, and a marker legend.
+    """
+    systems = result.systems()
+    points = result.points()
+    if not systems or not points:
+        return "(no data)"
+
+    def transform(value: float) -> float:
+        if log_scale:
+            return math.log10(max(value, 1.0))
+        return value
+
+    finite: List[float] = []
+    for record in result.records:
+        if record.finished:
+            finite.append(transform(float(getattr(record, metric))))
+    if not finite:
+        return "(no finished runs)"
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+
+    def row_of(value: float) -> int:
+        return int(round((transform(value) - lo) / span * (height - 1)))
+
+    # Grid: one column per x point, one marker per system.
+    width = len(points)
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, system in enumerate(systems):
+        marker = MARKERS[s_index % len(MARKERS)]
+        for x_index, point in enumerate(points):
+            record = result.record_for(system, point)
+            if record is None:
+                continue
+            if not record.finished:
+                grid[height - 1][x_index] = "!"
+                continue
+            row = row_of(float(getattr(record, metric)))
+            cell = grid[row][x_index]
+            grid[row][x_index] = "•" if cell not in (" ", marker) else marker
+
+    lines = [result.title]
+    scale_note = "log10 " if log_scale else ""
+    top_label = f"{10 ** hi:.0f}" if log_scale else f"{hi:.0f}"
+    bottom_label = f"{10 ** lo:.0f}" if log_scale else f"{lo:.0f}"
+    lines.append(f"{metric} ({scale_note}scale), top ≈ {top_label}, bottom ≈ {bottom_label}")
+    for row in range(height - 1, -1, -1):
+        lines.append("|" + " ".join(grid[row]))
+    lines.append("+" + "-" * (2 * width - 1))
+    lines.append(" " + " ".join(str(p)[0] for p in points))
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={system}"
+        for i, system in enumerate(systems)
+    )
+    lines.append(f"legend: {legend}  (!=DNF, •=overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The TPC-H suite runner: every benchmark query across every system.
+
+A mini "power run" over the six implemented TPC-H queries (Q3, Q5, Q7, Q8,
+Q9, Q10): for each query, measure the CommDB-like engine (with statistics),
+the engine without its optimizer, the stand-alone q-HD plan, and the
+tightly-coupled PostgreSQL-like engine — cross-validating every answer.
+
+This is the paper's §6.1 experiment widened from {Q5, Q8} to the whole
+implemented workload, and the first thing to run when assessing a change
+to any optimizer or evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.integration import install_structural_optimizer
+from repro.core.optimizer import HybridOptimizer
+from repro.engine.dbms import (
+    COMMDB_PROFILE,
+    POSTGRES_PROFILE,
+    DBMSResult,
+    SimulatedDBMS,
+)
+from repro.relational.database import Database
+from repro.workloads.tpch import generate_tpch_database
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+
+@dataclass
+class SuiteRow:
+    """Results of one query across the compared systems.
+
+    ``work`` maps system label → work units (None = DNF);
+    ``agree`` is True when every finished system produced the same answer.
+    """
+
+    query: str
+    work: Dict[str, Optional[int]] = field(default_factory=dict)
+    answer_rows: Optional[int] = None
+    qhd_width: Optional[int] = None
+    agree: bool = True
+
+
+SYSTEMS = ("commdb+stats", "commdb-no-opt", "q-hd", "postgres+q-hd")
+
+
+def run_tpch_suite(
+    size_mb: float = 200.0,
+    seed: int = 1,
+    max_width: int = 3,
+    budget: int = 5_000_000,
+    database: Optional[Database] = None,
+) -> List[SuiteRow]:
+    """Run every TPC-H query on every system; returns one row per query."""
+    db = database or generate_tpch_database(size_mb=size_mb, seed=seed, analyze=True)
+    commdb = SimulatedDBMS(db, COMMDB_PROFILE)
+    coupled = SimulatedDBMS(db, POSTGRES_PROFILE)
+    install_structural_optimizer(coupled, max_width=max_width)
+    optimizer = HybridOptimizer(db, max_width=max_width)
+
+    rows: List[SuiteRow] = []
+    for name in sorted(TPCH_QUERIES):
+        sql = TPCH_QUERIES[name]()
+        row = SuiteRow(query=name)
+
+        results: Dict[str, DBMSResult] = {}
+        results["commdb+stats"] = commdb.run_sql(
+            sql, use_statistics=True, work_budget=budget
+        )
+        results["commdb-no-opt"] = commdb.run_sql(
+            sql, optimizer_enabled=False, work_budget=budget
+        )
+        plan = optimizer.optimize(sql)
+        row.qhd_width = plan.width
+        results["q-hd"] = plan.execute(
+            work_budget=budget, spill=commdb.spill_model
+        )
+        results["postgres+q-hd"] = coupled.run_sql(sql, work_budget=budget)
+
+        reference = None
+        for system in SYSTEMS:
+            result = results[system]
+            row.work[system] = result.work if result.finished else None
+            if result.relation is None:
+                continue
+            if reference is None:
+                reference = result.relation
+                row.answer_rows = len(reference)
+            elif not reference.same_content(result.relation):
+                row.agree = False
+        rows.append(row)
+    return rows
+
+
+def render_suite(rows: List[SuiteRow]) -> str:
+    """Fixed-width table of the suite results."""
+    header = (
+        f"{'query':<6} {'rows':>6} {'width':>6} "
+        + " ".join(f"{system:>14}" for system in SYSTEMS)
+        + "  agree"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " ".join(
+            f"{row.work[s] if row.work.get(s) is not None else 'DNF':>14}"
+            for s in SYSTEMS
+        )
+        lines.append(
+            f"{row.query:<6} {row.answer_rows if row.answer_rows is not None else '-':>6} "
+            f"{row.qhd_width if row.qhd_width is not None else '-':>6} {cells}  "
+            f"{'yes' if row.agree else 'NO'}"
+        )
+    return "\n".join(lines)

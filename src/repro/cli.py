@@ -1,0 +1,207 @@
+"""Command-line interface: ``hdqo`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``decompose`` — parse a SQL query (against the TPC-H schema or a named
+  workload), print its hypergraph and q-hypertree decomposition;
+* ``run`` — execute a TPC-H query on a generated database with every
+  configured system and print the comparison;
+* ``experiment`` — reproduce a paper figure (fig7a…fig10, overhead) and
+  print its series table;
+* ``explain`` — show the engine join plan vs the decomposition plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import render_series_table
+from repro.core.integration import install_structural_optimizer
+from repro.core.optimizer import HybridOptimizer
+from repro.engine.dbms import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
+from repro.workloads.tpch import TPCH_SCHEMA, generate_tpch_database
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+
+def _query_text(args: argparse.Namespace) -> str:
+    if args.query in TPCH_QUERIES:
+        return TPCH_QUERIES[args.query]()
+    if args.query == "-":
+        return sys.stdin.read()
+    return args.query
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
+    optimizer = HybridOptimizer(database, max_width=args.width)
+    sql = _query_text(args)
+    translation = optimizer.translate(sql)
+    print("Conjunctive query:")
+    print(f"  {translation.query}")
+    hypergraph = translation.query.hypergraph()
+    print(f"Hypergraph: {len(hypergraph)} edges, {len(hypergraph.vertices)} variables")
+    plan = optimizer.optimize(translation)
+    print(f"q-hypertree decomposition (width {plan.width}, "
+          f"{plan.decomposition_seconds * 1000:.1f} ms):")
+    print(plan.explain())
+    if args.views:
+        print()
+        print("Stand-alone SQL views:")
+        print(plan.to_sql_views().render())
+    if args.dot:
+        from repro.hypergraph.dot import decomposition_to_dot, hypergraph_to_dot
+
+        print()
+        print(hypergraph_to_dot(
+            hypergraph, highlight_vertices=set(translation.query.output_variables)
+        ))
+        print()
+        print(decomposition_to_dot(plan.decomposition))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
+    sql = _query_text(args)
+    dbms = SimulatedDBMS(database, COMMDB_PROFILE)
+    budget = args.budget
+
+    rows = []
+    result = dbms.run_sql(sql, use_statistics=True, work_budget=budget)
+    rows.append(("commdb+stats", result))
+    result = dbms.run_sql(sql, optimizer_enabled=False, work_budget=budget)
+    rows.append(("commdb-no-opt", result))
+
+    plan = HybridOptimizer(database, max_width=args.width).optimize(sql)
+    qhd = plan.execute(work_budget=budget, spill=dbms.spill_model)
+    rows.append(("q-hd", qhd))
+
+    coupled = SimulatedDBMS(database, POSTGRES_PROFILE)
+    install_structural_optimizer(coupled, max_width=args.width)
+    rows.append(("postgres+q-hd", coupled.run_sql(sql, work_budget=budget)))
+
+    print(f"{'system':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
+    for name, res in rows:
+        work = str(res.work) if res.finished else "DNF"
+        count = str(len(res.relation)) if res.relation is not None else "-"
+        print(f"{name:<16} {work:>12} {count:>8} {res.elapsed_seconds:>9.3f}")
+    finished = [res.relation for _name, res in rows if res.relation is not None]
+    if len(finished) > 1:
+        agree = all(finished[0].same_content(rel) for rel in finished[1:])
+        print(f"answers agree: {agree}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.hypergraph.treedecomp import structural_summary
+
+    database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
+    optimizer = HybridOptimizer(database, max_width=args.width)
+    sql = _query_text(args)
+    translation = optimizer.translate(sql)
+    hypergraph = translation.query.hypergraph()
+    summary = structural_summary(hypergraph)
+    print(f"query: {translation.query.name}")
+    print(f"  atoms:               {summary['edges']}")
+    print(f"  variables:           {summary['variables']}")
+    print(f"  acyclic:             {summary['acyclic']}")
+    print(f"  hypertree width:     {summary['hypertree_width']}")
+    print(f"  treewidth (minfill): {summary.get('treewidth_min_fill', '-')}")
+    print(f"  biconnected width:   {summary['biconnected_width']}")
+    print(f"  hinge degree:        {summary['hinge_degree']}")
+    out = sorted(translation.query.output_variables)
+    print(f"  output variables:    {len(out)} ({', '.join(out)})")
+    try:
+        plan = optimizer.optimize(translation)
+        print(f"  q-hypertree width:   {plan.width} (k ≤ {args.width})")
+    except Exception as exc:  # DecompositionNotFound and friends
+        print(f"  q-hypertree width:   failure at k = {args.width} ({exc})")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id, scale=args.scale)
+    print(render_series_table(result, metric=args.metric, point_label="x"))
+    if args.chart:
+        from repro.bench.plotting import render_ascii_chart
+
+        print()
+        print(render_ascii_chart(result, metric=args.metric))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
+    sql = _query_text(args)
+    dbms = SimulatedDBMS(database, COMMDB_PROFILE)
+    print("Engine join plan (dp-bushy, with statistics):")
+    print(dbms.explain(sql, use_statistics=True))
+    print()
+    plan = HybridOptimizer(database, max_width=args.width).optimize(sql)
+    print(f"q-hypertree decomposition (width {plan.width}):")
+    print(plan.explain())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdqo",
+        description="Hypertree decompositions for query optimization "
+        "(ICDE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "query",
+            help="SQL text, a TPC-H query name (q3/q5/q8/q10), or '-' for stdin",
+        )
+        p.add_argument("--size-mb", type=float, default=100.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--width", type=int, default=4, help="width bound k")
+
+    p = sub.add_parser("decompose", help="show the q-hypertree decomposition")
+    common(p)
+    p.add_argument("--views", action="store_true", help="also print SQL views")
+    p.add_argument("--dot", action="store_true", help="Graphviz DOT output")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("run", help="run a query on every system and compare")
+    common(p)
+    p.add_argument("--budget", type=int, default=5_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("explain", help="engine plan vs decomposition plan")
+    common(p)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "analyze", help="structural measures of a query (widths, acyclicity)"
+    )
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("experiment", help="reproduce a paper figure")
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", choices=["quick", "full"], default="quick")
+    p.add_argument(
+        "--metric",
+        choices=["work", "simulated_seconds", "elapsed_seconds"],
+        default="work",
+    )
+    p.add_argument("--chart", action="store_true", help="ASCII line chart")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

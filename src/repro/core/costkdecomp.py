@@ -1,0 +1,216 @@
+"""cost-k-decomp: minimum-cost normal-form decomposition search.
+
+The fundamental module of the paper's architecture (Fig. 5).  It explores
+the same subproblem space as det-k-decomp, but instead of returning the
+first width-≤k decomposition it runs a dynamic program: for every
+``(component, connector)`` subproblem it caches the *cheapest* subtree
+under the statistics-driven weighting of
+:class:`repro.core.costmodel.DecompositionCostModel` (following the
+weighted hypertree decompositions of Scarcello–Greco–Leone, PODS'04).
+
+Ties break deterministically: lower cost, then smaller width, then
+lexicographic λ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.core.costmodel import DecompositionCostModel, JoinEstimate
+from repro.core.detkdecomp import _candidate_separators, _split
+from repro.core.hypertree import Hypertree, HypertreeNode
+
+
+@dataclass
+class _Best:
+    """Cached best solution of one (component, connector) subproblem."""
+
+    cost: float
+    width: int
+    estimate: JoinEstimate  # estimate of the node relation handed to the parent
+    node: HypertreeNode
+
+    def key(self, lam: Tuple[str, ...]) -> Tuple[float, int, Tuple[str, ...]]:
+        return (self.cost, self.width, lam)
+
+
+class CostKDecomp:
+    """Min-cost decomposition search with DP memoization."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        cost_model: DecompositionCostModel,
+        output_weight: float = 0.0,
+        output_variables: Iterable[str] = (),
+    ):
+        """Args:
+            output_weight: weight of the *aggregation term* — the paper's
+                future-work extension ("aggregate predicates can be included
+                in the cost model").  When positive, the root candidate's
+                cost additionally charges ``weight × |answer estimate|``,
+                modelling the post-processing scan that computes aggregates
+                and GROUP BY over the answer.
+            output_variables: out(Q); the answer estimate is the root
+                relation projected onto these.
+        """
+        if k < 1:
+            raise DecompositionError("width bound k must be at least 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.cost_model = cost_model
+        self.output_weight = output_weight
+        self.output_variables = frozenset(output_variables)
+        self.atom_variables: Dict[str, FrozenSet[str]] = {
+            edge.name: edge.vertices for edge in hypergraph
+        }
+        self._root_key: Optional[Tuple[FrozenSet[str], FrozenSet[str]]] = None
+        self._memo: Dict[
+            Tuple[FrozenSet[str], FrozenSet[str]], Optional[_Best]
+        ] = {}
+
+    # ------------------------------------------------------------------
+
+    def decompose(
+        self, required_root_cover: Iterable[str] = ()
+    ) -> Optional[Tuple[Hypertree, float]]:
+        """Search for the cheapest width-≤k decomposition.
+
+        Returns ``(hypertree, estimated_cost)`` or None when no width-≤k
+        decomposition with the required root cover exists.
+        """
+        all_edges = frozenset(edge.name for edge in self.hypergraph)
+        cover = frozenset(required_root_cover)
+        unknown = cover - self.hypergraph.vertices
+        if unknown:
+            raise DecompositionError(
+                f"required root-cover variables not in hypergraph: {sorted(unknown)}"
+            )
+        if not all_edges:
+            root = HypertreeNode(chi=cover, lam=())
+            return Hypertree(root, self.hypergraph), 0.0
+        self._root_key = (all_edges, cover)
+        best = self._solve(all_edges, cover)
+        if best is None:
+            return None
+        return Hypertree(best.node.clone(), self.hypergraph), best.cost
+
+    # ------------------------------------------------------------------
+
+    def _solve(
+        self, component: FrozenSet[str], connector: FrozenSet[str]
+    ) -> Optional[_Best]:
+        key = (component, connector)
+        if key in self._memo:
+            return self._memo[key]
+        # Guard against re-entrancy; the subproblem ordering is acyclic
+        # because sub-components strictly shrink, so a plain None marker is
+        # only a safety net.
+        self._memo[key] = None
+        result = self._search(component, connector)
+        self._memo[key] = result
+        return result
+
+    def _search(
+        self, component: FrozenSet[str], connector: FrozenSet[str]
+    ) -> Optional[_Best]:
+        component_vars = self.hypergraph.variables_of(component)
+        best: Optional[_Best] = None
+        best_key: Optional[Tuple[float, int, Tuple[str, ...]]] = None
+
+        for lam in _candidate_separators(
+            self.hypergraph, component, connector, self.k
+        ):
+            lam_vars = self.hypergraph.variables_of(lam)
+            chi = lam_vars & (connector | component_vars)
+            pieces = _split(self.hypergraph, component, chi)
+            if any(len(sub) >= len(component) for sub, _ in pieces):
+                continue
+
+            node_estimate, node_cost = self.cost_model.node_estimate(
+                lam, self.atom_variables, chi
+            )
+            total_cost = node_cost
+            children: List[HypertreeNode] = []
+            current = node_estimate
+            feasible = True
+            for sub, sub_connector in pieces:
+                child_best = self._solve(sub, sub_connector)
+                if child_best is None:
+                    feasible = False
+                    break
+                children.append(child_best.node)
+                total_cost += child_best.cost
+                total_cost += self.cost_model.stitch_cost(
+                    current, child_best.estimate
+                )
+                current = self.cost_model.stitch(
+                    current, child_best.estimate, chi
+                )
+            if not feasible:
+                continue
+
+            if (
+                self.output_weight > 0.0
+                and self._root_key == (component, connector)
+            ):
+                answer = self.cost_model.project(
+                    current, self.output_variables & chi
+                )
+                total_cost += self.output_weight * answer.cardinality
+
+            width = max(
+                [len(lam)] + [self._subtree_width(c) for c in children]
+            )
+            candidate = _Best(
+                cost=total_cost,
+                width=width,
+                estimate=self.cost_model.project(current, chi),
+                node=HypertreeNode(
+                    chi=chi, lam=lam, children=[c.clone() for c in children]
+                ),
+            )
+            candidate_key = candidate.key(lam)
+            if best_key is None or candidate_key < best_key:
+                best, best_key = candidate, candidate_key
+        return best
+
+    @staticmethod
+    def _subtree_width(node: HypertreeNode) -> int:
+        return max(len(n.lam) for n in node.walk())
+
+
+def cost_k_decomp(
+    hypergraph: Hypergraph,
+    k: int,
+    cost_model: DecompositionCostModel,
+    required_root_cover: Iterable[str] = (),
+    output_weight: float = 0.0,
+) -> Optional[Tuple[Hypertree, float]]:
+    """Find the cheapest width-≤k hypertree decomposition under a cost model.
+
+    Args:
+        hypergraph: the query hypergraph.
+        k: width bound.
+        cost_model: statistics-driven weighting (use
+            :meth:`DecompositionCostModel.uniform` for purely structural
+            search).
+        required_root_cover: variables the root χ must contain (out(Q)).
+        output_weight: aggregate-term weight (the paper's future-work
+            extension); > 0 charges the estimated answer size at the root.
+
+    Returns:
+        ``(hypertree, estimated_cost)`` or None.
+    """
+    search = CostKDecomp(
+        hypergraph,
+        k,
+        cost_model,
+        output_weight=output_weight,
+        output_variables=required_root_cover,
+    )
+    return search.decompose(required_root_cover)

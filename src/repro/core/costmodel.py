@@ -1,0 +1,207 @@
+"""Quantitative cost model for decomposition search.
+
+cost-k-decomp (§4.1) does not look for *any* width-≤k decomposition: among
+normal-form decompositions it picks one minimizing an estimated evaluation
+cost, computed from statistics on the data (cardinalities and per-attribute
+distinct counts) with the standard textbook estimators [Garcia-Molina et
+al.; Ioannidis]:
+
+* join size:  |R ⋈ S| = |R| · |S| / Π_{a ∈ shared} max(V(R,a), V(S,a))
+* equality filter selectivity: 1 / V(R, a)
+* range filter selectivity: a fixed default (1/3), refined by min/max when
+  available.
+
+When no statistics exist the model degrades to uniform defaults, making the
+search *purely structural* — this is the mode the paper uses for the
+"statistics not (yet) available" scenario of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DecompositionError
+from repro.query.conjunctive import ConjunctiveQuery
+
+DEFAULT_CARDINALITY = 1000.0
+DEFAULT_DISTINCT = 100.0
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass
+class AtomEstimate:
+    """Statistical summary of one query atom's (filtered) base relation.
+
+    Attributes:
+        cardinality: estimated tuple count after pushed-down filters.
+        distinct: per-variable distinct-value estimates.
+    """
+
+    cardinality: float
+    distinct: Dict[str, float] = field(default_factory=dict)
+
+    def distinct_of(self, variable: str) -> float:
+        value = self.distinct.get(variable, DEFAULT_DISTINCT)
+        return max(min(value, self.cardinality), 1.0)
+
+
+@dataclass
+class JoinEstimate:
+    """Estimated size and per-variable distincts of an intermediate result."""
+
+    cardinality: float
+    distinct: Dict[str, float]
+
+    def distinct_of(self, variable: str) -> float:
+        value = self.distinct.get(variable, DEFAULT_DISTINCT)
+        return max(min(value, self.cardinality), 1.0)
+
+
+class DecompositionCostModel:
+    """Estimates evaluation cost of decomposition nodes from statistics.
+
+    Args:
+        atom_estimates: per atom name, the statistical summary of its base
+            relation (already reflecting pushed-down constant filters).
+    """
+
+    def __init__(self, atom_estimates: Mapping[str, AtomEstimate]):
+        self.atom_estimates: Dict[str, AtomEstimate] = dict(atom_estimates)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        query: ConjunctiveQuery,
+        cardinality: float = DEFAULT_CARDINALITY,
+        distinct: float = DEFAULT_DISTINCT,
+    ) -> "DecompositionCostModel":
+        """Purely structural mode: identical estimates for every atom."""
+        estimates = {}
+        for atom in query.atoms:
+            estimates[atom.name] = AtomEstimate(
+                cardinality=cardinality,
+                distinct={v: min(distinct, cardinality) for v in atom.variables},
+            )
+        return cls(estimates)
+
+    # ------------------------------------------------------------------
+    # Atom access
+    # ------------------------------------------------------------------
+
+    def estimate_for(self, atom_name: str) -> AtomEstimate:
+        try:
+            return self.atom_estimates[atom_name]
+        except KeyError:
+            raise DecompositionError(
+                f"no cost estimate registered for atom {atom_name!r}"
+            ) from None
+
+    def atom_as_join(self, atom_name: str) -> JoinEstimate:
+        est = self.estimate_for(atom_name)
+        return JoinEstimate(est.cardinality, dict(est.distinct))
+
+    # ------------------------------------------------------------------
+    # Estimators
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def join(
+        left: JoinEstimate,
+        right: JoinEstimate,
+        shared_variables: Iterable[str],
+    ) -> JoinEstimate:
+        """Textbook natural-join estimate over the shared variables."""
+        size = left.cardinality * right.cardinality
+        for variable in shared_variables:
+            size /= max(left.distinct_of(variable), right.distinct_of(variable))
+        size = max(size, 0.0)
+        distinct: Dict[str, float] = {}
+        for variable in set(left.distinct) | set(right.distinct):
+            if variable in left.distinct and variable in right.distinct:
+                estimate = min(left.distinct[variable], right.distinct[variable])
+            else:
+                estimate = left.distinct.get(
+                    variable, right.distinct.get(variable, DEFAULT_DISTINCT)
+                )
+            distinct[variable] = max(min(estimate, size), 1.0)
+        return JoinEstimate(size, distinct)
+
+    def join_sequence(
+        self, estimates: Sequence[JoinEstimate], variables_of: Sequence[FrozenSet[str]]
+    ) -> Tuple[JoinEstimate, float]:
+        """Estimate joining a sequence of inputs, greedily smallest-first.
+
+        Returns the final estimate and the accumulated *cost* (sum of input
+        and intermediate sizes — the C_out metric).
+        """
+        if not estimates:
+            return JoinEstimate(1.0, {}), 0.0
+        items = sorted(
+            zip(estimates, variables_of), key=lambda pair: pair[0].cardinality
+        )
+        current, current_vars = items[0]
+        cost = current.cardinality
+        for estimate, variables in items[1:]:
+            shared = current_vars & variables
+            current = self.join(current, estimate, shared)
+            current_vars = current_vars | variables
+            cost += estimate.cardinality + current.cardinality
+        return current, cost
+
+    def project(self, estimate: JoinEstimate, keep: Iterable[str]) -> JoinEstimate:
+        """Projection estimate: size bounded by the product of kept distincts."""
+        keep_set = set(keep)
+        distinct = {v: d for v, d in estimate.distinct.items() if v in keep_set}
+        bound = 1.0
+        for value in distinct.values():
+            bound *= value
+            if bound > estimate.cardinality:
+                bound = estimate.cardinality
+                break
+        size = min(estimate.cardinality, max(bound, 1.0))
+        return JoinEstimate(size, distinct)
+
+    # ------------------------------------------------------------------
+    # Decomposition-node costing (the weighting function of cost-k-decomp)
+    # ------------------------------------------------------------------
+
+    def node_estimate(
+        self,
+        lam_atoms: Sequence[str],
+        atom_variables: Mapping[str, FrozenSet[str]],
+        chi: FrozenSet[str],
+    ) -> Tuple[JoinEstimate, float]:
+        """Estimate computing one node's relation (step P′).
+
+        Joins the λ atoms (smallest-first) and projects onto χ; returns the
+        projected estimate and the join cost.
+        """
+        estimates = [self.atom_as_join(name) for name in lam_atoms]
+        variables = [frozenset(atom_variables[name]) for name in lam_atoms]
+        joined, cost = self.join_sequence(estimates, variables)
+        projected = self.project(joined, chi)
+        return projected, cost
+
+    @staticmethod
+    def stitch_cost(parent: JoinEstimate, child: JoinEstimate) -> float:
+        """Cost of joining a child's relation into its parent (step P″)."""
+        shared = set(parent.distinct) & set(child.distinct)
+        out = DecompositionCostModel.join(parent, child, shared)
+        return parent.cardinality + child.cardinality + out.cardinality
+
+    @staticmethod
+    def stitch(
+        parent: JoinEstimate, child: JoinEstimate, chi: FrozenSet[str]
+    ) -> JoinEstimate:
+        """Resulting parent estimate after absorbing one child (projected to χ)."""
+        shared = set(parent.distinct) & set(child.distinct)
+        joined = DecompositionCostModel.join(parent, child, shared)
+        keep = set(joined.distinct) & chi
+        distinct = {v: d for v, d in joined.distinct.items() if v in keep}
+        return JoinEstimate(joined.cardinality, distinct)

@@ -1,0 +1,197 @@
+"""det-k-decomp: search for a hypertree decomposition of width ≤ k.
+
+A memoized recursive search in the style of Gottlob–Leone–Scarcello's
+opt-k-decomp / det-k-decomp family.  Subproblems are pairs
+``(component, connector)`` where *component* is a set of hyperedge names
+still to decompose and *connector* is the set of variables shared with the
+parent's χ label.  For each subproblem the algorithm enumerates λ-candidates
+(≤ k hyperedges covering the connector and touching the component), sets
+
+    χ(p) = var(λ(p)) ∩ (connector ∪ var(component)),
+
+splits the component against χ(p) (see
+:func:`repro.hypergraph.algorithms.connected_components`) and recurses.
+This construction yields decompositions satisfying all four conditions of
+Definition 1 (in particular the Special Descendant Condition), i.e. genuine
+normal-form-style hypertree decompositions.
+
+The top-level call may impose a set of variables the *root* χ must cover —
+that is exactly how Algorithm q-HypertreeDecomp (Fig. 4 of the paper)
+obtains condition 2 of Definition 2 (out(Q) ⊆ χ(root)).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DecompositionError
+from repro.hypergraph.algorithms import connected_components
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.core.hypertree import Hypertree, HypertreeNode
+
+_FAIL = None
+
+
+def _candidate_separators(
+    hypergraph: Hypergraph,
+    component: FrozenSet[str],
+    connector: FrozenSet[str],
+    k: int,
+) -> Iterator[Tuple[str, ...]]:
+    """Enumerate λ-candidates for a (component, connector) subproblem.
+
+    A candidate is a set of 1..k hyperedges (from the *whole* hypergraph —
+    edges outside the component may be needed to cover the connector) such
+    that:
+
+    * every connector variable is covered: connector ⊆ var(λ);
+    * at least one candidate edge intersects the component's variables
+      (progress guarantee);
+    * no candidate edge is useless (each must intersect
+      connector ∪ var(component)).
+    """
+    component_vars = hypergraph.variables_of(component)
+    relevant_vars = connector | component_vars
+    relevant_edges = sorted(
+        edge.name
+        for edge in hypergraph
+        if edge.vertices & relevant_vars
+    )
+    for size in range(1, k + 1):
+        for combo in itertools.combinations(relevant_edges, size):
+            lam_vars = hypergraph.variables_of(combo)
+            if not connector <= lam_vars:
+                continue
+            if not lam_vars & component_vars:
+                continue
+            yield combo
+
+
+def _split(
+    hypergraph: Hypergraph,
+    component: FrozenSet[str],
+    chi: FrozenSet[str],
+) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """Split a component against χ; returns (sub-component, connector) pairs."""
+    subcomponents = connected_components(hypergraph, component, chi)
+    result = []
+    for sub in subcomponents:
+        connector = hypergraph.variables_of(sub) & chi
+        result.append((sub, frozenset(connector)))
+    return result
+
+
+class DetKDecomp:
+    """Stateful det-k-decomp search with success/failure memoization."""
+
+    def __init__(self, hypergraph: Hypergraph, k: int):
+        if k < 1:
+            raise DecompositionError("width bound k must be at least 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self._memo: Dict[
+            Tuple[FrozenSet[str], FrozenSet[str]], Optional[HypertreeNode]
+        ] = {}
+
+    def decompose(
+        self, required_root_cover: Iterable[str] = ()
+    ) -> Optional[Hypertree]:
+        """Search for a width-≤k decomposition.
+
+        Args:
+            required_root_cover: variables the root's χ must contain (the
+                out(Q) requirement of Def. 2).  They must be covered by the
+                root's λ since this search keeps χ ⊆ var(λ).
+
+        Returns:
+            A :class:`Hypertree` satisfying Definition 1, or None.
+        """
+        all_edges = frozenset(edge.name for edge in self.hypergraph)
+        cover = frozenset(required_root_cover)
+        unknown = cover - self.hypergraph.vertices
+        if unknown:
+            raise DecompositionError(
+                f"required root-cover variables not in hypergraph: {sorted(unknown)}"
+            )
+        if not all_edges:
+            root = HypertreeNode(chi=cover, lam=())
+            return Hypertree(root, self.hypergraph)
+        node = self._solve(all_edges, cover)
+        if node is None:
+            return None
+        return Hypertree(node.clone(), self.hypergraph)
+
+    # ------------------------------------------------------------------
+
+    def _solve(
+        self, component: FrozenSet[str], connector: FrozenSet[str]
+    ) -> Optional[HypertreeNode]:
+        key = (component, connector)
+        if key in self._memo:
+            cached = self._memo[key]
+            return cached.clone() if cached is not None else None
+
+        result = self._search(component, connector)
+        self._memo[key] = result.clone() if result is not None else None
+        return result
+
+    def _search(
+        self, component: FrozenSet[str], connector: FrozenSet[str]
+    ) -> Optional[HypertreeNode]:
+        component_vars = self.hypergraph.variables_of(component)
+        for lam in _candidate_separators(
+            self.hypergraph, component, connector, self.k
+        ):
+            lam_vars = self.hypergraph.variables_of(lam)
+            chi = lam_vars & (connector | component_vars)
+            pieces = _split(self.hypergraph, component, chi)
+            # Progress guarantee: every sub-component must be strictly
+            # smaller, otherwise the candidate made no headway.
+            if any(len(sub) >= len(component) for sub, _ in pieces):
+                continue
+            children: List[HypertreeNode] = []
+            failed = False
+            for sub, sub_connector in pieces:
+                child = self._solve(sub, sub_connector)
+                if child is None:
+                    failed = True
+                    break
+                children.append(child)
+            if failed:
+                continue
+            return HypertreeNode(chi=chi, lam=lam, children=children)
+        return None
+
+
+def det_k_decomp(
+    hypergraph: Hypergraph,
+    k: int,
+    required_root_cover: Iterable[str] = (),
+) -> Optional[Hypertree]:
+    """Find a hypertree decomposition of width ≤ k, or None.
+
+    Args:
+        hypergraph: the query hypergraph H(Q).
+        k: the width bound (the paper notes k = 4 suffices for database
+            queries in practice).
+        required_root_cover: variables the root χ must contain — pass
+            out(Q) to satisfy Definition 2's condition 2.
+    """
+    return DetKDecomp(hypergraph, k).decompose(required_root_cover)
+
+
+def hypertree_width(hypergraph: Hypergraph, max_k: int = 8) -> int:
+    """Exact hypertree width via iterative deepening on det-k-decomp.
+
+    Raises:
+        DecompositionError: when the width exceeds ``max_k``.
+    """
+    if len(hypergraph) == 0:
+        return 0
+    for k in range(1, max_k + 1):
+        if det_k_decomp(hypergraph, k) is not None:
+            return k
+    raise DecompositionError(
+        f"hypertree width exceeds the search bound max_k={max_k}"
+    )

@@ -1,0 +1,368 @@
+"""Query evaluation over decompositions.
+
+Three evaluators, matching §3.2 and §4 of the paper:
+
+* :func:`yannakakis_boolean` — the classical bottom-up semijoin pass over a
+  join tree (Boolean acyclic queries);
+* :func:`yannakakis_acyclic` — the full three-phase Yannakakis algorithm
+  (bottom-up semijoins, top-down semijoins, bottom-up joins) computing all
+  answers of a non-Boolean acyclic query in input+output polynomial time;
+* :class:`QHDEvaluator` — the paper's *q-hypertree evaluator* (steps
+  P′/P″/P‴): one bottom-up pass over a q-hypertree decomposition whose
+  root covers out(Q), joining Optimize-guard children before their
+  siblings.
+
+All evaluators consume *atom relations*: per query atom, its base relation
+filtered by the pushed-down constant predicates and renamed so attributes
+are CQ variables — see :func:`atom_relations`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.hypergraph.jointree import JoinTreeNode, build_join_forest
+from repro.metering import NULL_METER, SpillModel, WorkMeter
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.relational.relation import Relation
+from repro.core.hypertree import Hypertree, HypertreeNode
+
+# ---------------------------------------------------------------------------
+# Base scans live in the engine substrate; re-exported here for convenience.
+# ---------------------------------------------------------------------------
+
+from repro.engine.scans import atom_relations  # noqa: E402  (re-export)
+
+
+def _constant_atoms_satisfiable(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation]
+) -> bool:
+    """Check atoms without variables: each must have a non-empty relation."""
+    for atom in query.atoms:
+        if not atom.variables and len(relations.get(atom.name, ())) == 0:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Yannakakis over join trees (acyclic queries)
+# ---------------------------------------------------------------------------
+
+
+def yannakakis_boolean(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    meter: WorkMeter = NULL_METER,
+) -> bool:
+    """Boolean acyclic evaluation: bottom-up semijoins over a join forest.
+
+    Returns True iff the query body is satisfiable on the given relations.
+    Raises :class:`repro.errors.HypergraphError` when the query is cyclic.
+    """
+    hypergraph = query.hypergraph()
+    if len(hypergraph) == 0:
+        return _constant_atoms_satisfiable(query, relations)
+    roots = build_join_forest(hypergraph)
+    current = {name: relations[name] for name in hypergraph.edge_names}
+    for root in roots:
+        for node in root.postorder():
+            rel = current[node.edge.name]
+            for child in node.children:
+                rel = rel.semijoin(current[child.edge.name], meter=meter)
+            current[node.edge.name] = rel
+        if len(current[root.edge.name]) == 0:
+            return False
+    return _constant_atoms_satisfiable(query, relations)
+
+
+def yannakakis_acyclic(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    meter: WorkMeter = NULL_METER,
+) -> Relation:
+    """Full three-phase Yannakakis evaluation of a non-Boolean acyclic query.
+
+    (i) bottom-up semijoins, (ii) top-down semijoins, (iii) bottom-up joins
+    projecting, at each node, onto the node's variables plus the output
+    variables gathered from its subtree (§3.2 of the paper).
+    """
+    hypergraph = query.hypergraph()
+    output = list(query.output)
+    if len(hypergraph) == 0:
+        satisfiable = _constant_atoms_satisfiable(query, relations)
+        return Relation(output, [()] if satisfiable and not output else [])
+    if not _constant_atoms_satisfiable(query, relations):
+        return Relation(output, [])
+
+    roots = build_join_forest(hypergraph)
+    current: Dict[str, Relation] = {
+        name: relations[name] for name in hypergraph.edge_names
+    }
+    out_set = frozenset(output)
+
+    # Phase (i): bottom-up semijoins.
+    for root in roots:
+        for node in root.postorder():
+            rel = current[node.edge.name]
+            for child in node.children:
+                rel = rel.semijoin(current[child.edge.name], meter=meter)
+            current[node.edge.name] = rel
+
+    # Phase (ii): top-down semijoins.
+    for root in roots:
+        for node in root.walk():
+            rel = current[node.edge.name]
+            for child in node.children:
+                current[child.edge.name] = current[child.edge.name].semijoin(
+                    rel, meter=meter
+                )
+
+    # Phase (iii): bottom-up joins with output projection.
+    def eval_subtree(node: JoinTreeNode) -> Relation:
+        rel = current[node.edge.name]
+        for child in node.children:
+            rel = rel.natural_join(eval_subtree(child), meter=meter)
+        keep = [
+            a
+            for a in rel.attributes
+            if a in node.edge.vertices or a in out_set
+        ]
+        return rel.project(keep, dedup=True, meter=meter)
+
+    partials = [eval_subtree(root) for root in roots]
+    answer = partials[0]
+    for partial in partials[1:]:
+        if len(partial) == 0:
+            answer = Relation(answer.attributes, [])
+            break
+        answer = answer.natural_join(partial, meter=meter)
+    ordered = [v for v in output if answer.has_attribute(v)]
+    missing = [v for v in output if not answer.has_attribute(v)]
+    if missing:
+        raise ExecutionError(
+            f"output variables missing from the answer: {missing}"
+        )
+    return answer.project(ordered, dedup=True, meter=meter)
+
+
+# ---------------------------------------------------------------------------
+# The q-hypertree evaluator (P′ / P″ / P‴)
+# ---------------------------------------------------------------------------
+
+
+class QHDEvaluator:
+    """Single-pass bottom-up evaluation of a q-hypertree decomposition.
+
+    Step P′: at each node, join the λ atoms' relations (smallest first) and
+    project onto χ(p).  Step P″: bottom-up over the tree, join each node
+    with its children — Optimize-guard children *first* — projecting onto
+    χ(p) after every child.  Step P‴: project the root onto out(Q).
+
+    The per-child projection onto χ(p) is what keeps intermediate results
+    bounded: since out(Q) ⊆ χ(root), no information needed by the answer is
+    ever discarded (feature (a) of Definition 2).
+    """
+
+    def __init__(
+        self,
+        decomposition: Hypertree,
+        query: ConjunctiveQuery,
+        meter: WorkMeter = NULL_METER,
+        spill: Optional[SpillModel] = None,
+    ):
+        self.decomposition = decomposition
+        self.query = query
+        self.meter = meter
+        self.spill = spill
+        self._trace: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, relations: Mapping[str, Relation]) -> Relation:
+        """Run P′+P″+P‴ and return the answer relation (set semantics).
+
+        Args:
+            relations: atom name → variable-named relation (see
+                :func:`atom_relations`).
+        """
+        output = list(self.query.output)
+        if not _constant_atoms_satisfiable(self.query, relations):
+            return Relation(output, [])
+        root_rel = self._evaluate_node(
+            self.decomposition.root, relations, keep=None
+        )
+        if root_rel is None:
+            raise ExecutionError(
+                "decomposition root produced no relation (empty λ and no children)"
+            )
+        missing = [v for v in output if not root_rel.has_attribute(v)]
+        if missing:
+            raise ExecutionError(
+                f"output variables missing at the decomposition root: {missing} "
+                "(the root must cover out(Q) — Definition 2, condition 2)"
+            )
+        return root_rel.project(output, dedup=True, meter=self.meter)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_node(
+        self,
+        node: HypertreeNode,
+        relations: Mapping[str, Relation],
+        keep: "Optional[FrozenSet[str]]" = None,
+    ) -> Optional[Relation]:
+        # Children are evaluated first (bottom-up), then steps P′/P″ fold
+        # the node's λ relations and its children's results.  The paper
+        # leaves the topological order free ("there are different ways of
+        # evaluating Q w.r.t. HD, depending on the choice of the
+        # topological order"); we exploit that freedom: Optimize-guard
+        # children are folded first (the §4.1 soundness caveat), the other
+        # sources greedily smallest-first.  After each join the result is
+        # projected onto χ(p) plus whatever variables still link it to the
+        # sources not yet folded.
+        guard_ids = {id(child) for child in node.guards.values()}
+        guard_rels: List[Relation] = []
+        other_rels: List[Relation] = []
+        for child in node.ordered_children():
+            # A child's result only matters to this node through their
+            # shared χ variables: everything else is dropped by this
+            # node's projection anyway, so ask the child to return only
+            # the interface (a legal choice of evaluation, and the one
+            # that keeps intermediate results semijoin-sized).
+            child_rel = self._evaluate_node(
+                child, relations, keep=frozenset(child.chi & node.chi)
+            )
+            if child_rel is None:
+                continue
+            if id(child) in guard_ids:
+                guard_rels.append(child_rel)
+            else:
+                other_rels.append(child_rel)
+        other_rels.extend(relations[name] for name in node.lam)
+
+        # Guard children are folded first (the §4.1 soundness caveat); the
+        # remaining sources greedily — smallest among those sharing a
+        # variable with the current result, to avoid cartesian steps.
+        rel: Optional[Relation] = None
+        pending = sorted(guard_rels, key=len) + sorted(other_rels, key=len)
+        n_guards = len(guard_rels)
+        while pending:
+            if n_guards > 0 or rel is None:
+                index = 0
+                n_guards = max(n_guards - 1, 0)
+            else:
+                attrs = set(rel.attributes)
+                index = next(
+                    (
+                        i
+                        for i, candidate in enumerate(pending)
+                        if attrs & set(candidate.attributes)
+                    ),
+                    0,
+                )
+            source = pending.pop(index)
+            rel = source if rel is None else rel.natural_join(source, meter=self.meter)
+            if self.spill is not None:
+                self.spill.charge(self.meter, len(rel))
+            linking: set = set()
+            for remaining in pending:
+                linking.update(remaining.attributes)
+            target = node.chi if keep is None else keep
+            kept_attrs = [
+                a
+                for a in rel.attributes
+                if a in target or a in linking or (keep is not None and a in node.chi and pending)
+            ]
+            rel = rel.project(kept_attrs, dedup=True, meter=self.meter)
+            self._trace.append(
+                f"node {node.node_id}: fold {source.name or 'child'} "
+                f"-> {len(rel)} tuples"
+            )
+        return rel
+
+    def trace(self) -> List[str]:
+        """Evaluation log (node order, intermediate sizes) for EXPLAIN output."""
+        return list(self._trace)
+
+
+def evaluate_qhd(
+    decomposition: Hypertree,
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    meter: WorkMeter = NULL_METER,
+    spill: Optional[SpillModel] = None,
+) -> Relation:
+    """Convenience wrapper: run the q-hypertree evaluator once."""
+    return QHDEvaluator(decomposition, query, meter, spill).evaluate(relations)
+
+
+# ---------------------------------------------------------------------------
+# Classic decomposition evaluation (S₂′ + S₂″) for comparison
+# ---------------------------------------------------------------------------
+
+
+def evaluate_hd_classic(
+    decomposition: Hypertree,
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    meter: WorkMeter = NULL_METER,
+    spill: Optional[SpillModel] = None,
+) -> Relation:
+    """The two-step evaluation of §3.2: materialize, then full Yannakakis.
+
+    Step S₂′ joins each node's λ atoms and projects onto χ(p), producing an
+    acyclic instance whose join tree is the decomposition tree itself; step
+    S₂″ runs the three-phase Yannakakis algorithm on it.  Used as the
+    baseline that q-hypertree evaluation (single pass, no steps (ii)/(iii))
+    improves upon.
+    """
+    output = list(query.output)
+    if not _constant_atoms_satisfiable(query, relations):
+        return Relation(output, [])
+
+    # S₂′: materialize node relations.
+    node_rels: Dict[int, Relation] = {}
+    for node in decomposition.root.walk():
+        rel: Optional[Relation] = None
+        for atom_rel in sorted((relations[n] for n in node.lam), key=len):
+            rel = atom_rel if rel is None else rel.natural_join(atom_rel, meter=meter)
+            if spill is not None:
+                spill.charge(meter, len(rel))
+        if rel is None:
+            rel = Relation((), [()])
+        keep = [a for a in rel.attributes if a in node.chi]
+        node_rels[node.node_id] = rel.project(keep, dedup=True, meter=meter)
+
+    out_set = frozenset(output)
+
+    # S₂″ phase (i): bottom-up semijoins.
+    for node in decomposition.root.postorder():
+        rel = node_rels[node.node_id]
+        for child in node.children:
+            rel = rel.semijoin(node_rels[child.node_id], meter=meter)
+        node_rels[node.node_id] = rel
+
+    # Phase (ii): top-down semijoins.
+    for node in decomposition.root.walk():
+        rel = node_rels[node.node_id]
+        for child in node.children:
+            node_rels[child.node_id] = node_rels[child.node_id].semijoin(
+                rel, meter=meter
+            )
+
+    # Phase (iii): bottom-up joins with output projection.
+    def eval_subtree(node: HypertreeNode) -> Relation:
+        rel = node_rels[node.node_id]
+        for child in node.children:
+            rel = rel.natural_join(eval_subtree(child), meter=meter)
+            if spill is not None:
+                spill.charge(meter, len(rel))
+        keep = [a for a in rel.attributes if a in node.chi or a in out_set]
+        return rel.project(keep, dedup=True, meter=meter)
+
+    answer = eval_subtree(decomposition.root)
+    missing = [v for v in output if not answer.has_attribute(v)]
+    if missing:
+        raise ExecutionError(f"output variables missing from the answer: {missing}")
+    return answer.project(output, dedup=True, meter=meter)

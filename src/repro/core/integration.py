@@ -1,0 +1,79 @@
+"""Tight coupling with the simulated PostgreSQL engine (Fig. 6).
+
+The paper modifies PostgreSQL's *Optimizer handler* so that control no
+longer passes to the built-in exhaustive/GEQO planners: the CQ Isolator and
+Statistics Picker run first, then the HDBQO ViewsBuilder turns the
+cost-k-decomp output into an executable plan, each subquery of which the
+built-in engine executes.
+
+Here the same is achieved through
+:meth:`repro.engine.dbms.SimulatedDBMS.set_optimizer_handler`: after
+:func:`install_structural_optimizer`, every ``run_sql`` call is planned by
+the hybrid optimizer — completely transparently to the caller — with an
+optional fallback to the built-in planner when no width-≤k decomposition
+covers the output variables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import DecompositionNotFound
+from repro.engine.dbms import OptimizerHandler, SimulatedDBMS
+from repro.engine.scans import atom_relations
+from repro.metering import WorkMeter
+from repro.query.translate import TranslationResult
+from repro.relational.relation import Relation
+from repro.core.evaluator import QHDEvaluator
+from repro.core.optimizer import cost_model_from_database
+from repro.core.qhd import q_hypertree_decomp
+
+
+def install_structural_optimizer(
+    dbms: SimulatedDBMS,
+    max_width: int = 4,
+    fallback_to_builtin: bool = True,
+    optimize: bool = True,
+) -> OptimizerHandler:
+    """Replace the engine's optimizer handler with the structural pipeline.
+
+    Args:
+        dbms: the engine to couple with.
+        max_width: the width bound k of cost-k-decomp.
+        fallback_to_builtin: when no suitable decomposition exists, hand
+            the query back to the built-in quantitative planner instead of
+            failing (what a production coupling must do).
+        optimize: run Procedure Optimize (disable for the Fig. 10 ablation).
+
+    Returns:
+        The installed handler (also retained on the DBMS); call
+        ``dbms.set_optimizer_handler(None)`` to uninstall.
+    """
+
+    def handler(
+        engine: SimulatedDBMS, translation: TranslationResult, meter: WorkMeter
+    ) -> Tuple[Relation, str]:
+        use_stats = engine.database.has_statistics()
+        model = cost_model_from_database(translation, engine.database, use_stats)
+        try:
+            decomposition = q_hypertree_decomp(
+                translation.query, max_width, cost_model=model, optimize=optimize
+            )
+        except DecompositionNotFound:
+            if not fallback_to_builtin:
+                raise
+            answer, plan_text, label = engine.plan_and_join(
+                translation, meter, use_stats, optimizer_enabled=True
+            )
+            return answer, f"(builtin fallback: {label})\n{plan_text}"
+        base = atom_relations(
+            translation.query, engine.database, translation, meter
+        )
+        evaluator = QHDEvaluator(
+            decomposition, translation.query, meter, spill=engine.spill_model
+        )
+        answer = evaluator.evaluate(base)
+        return answer, decomposition.render()
+
+    dbms.set_optimizer_handler(handler)
+    return handler

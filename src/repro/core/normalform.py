@@ -1,0 +1,81 @@
+"""Normal-form (NF) conditions for hypertree decompositions.
+
+cost-k-decomp restricts its search to *normal form* decompositions
+(Scarcello–Greco–Leone, PODS'04; Gottlob–Leone–Scarcello, JCSS'02): their
+number is polynomially bounded, which is what makes the minimum-cost search
+tractable (L^LOGCFL, as the paper notes).  A decomposition is in normal
+form when, for every node p and child c with subtree variables
+``V_c = χ(T_c) \\ χ(p)``:
+
+1. **one component**: V_c is exactly one [χ(p)]-vertex-component of H;
+2. **tight χ**: χ(c) = var(λ(c)) ∩ (V_c ∪ frontier), where *frontier* is
+   the set of χ(p)-variables appearing on edges that touch V_c (the
+   component's connector — exactly the ``conn`` set the recursive searches
+   thread through their subproblems);
+3. **progress**: var(λ(c)) ∩ V_c ≠ ∅.
+
+This is the normal form maintained by :mod:`repro.core.detkdecomp` and
+:mod:`repro.core.costkdecomp` (a mild variant of GLS'02 Definition 5.1,
+phrased over the searches' (component, connector) subproblems); the
+test-suite asserts their outputs satisfy it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.hypergraph.algorithms import vertex_connected_components
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.core.hypertree import Hypertree, HypertreeNode
+
+
+def _subtree_variables(node: HypertreeNode) -> FrozenSet[str]:
+    return node.subtree_chi()
+
+
+def normal_form_violations(decomposition: Hypertree) -> List[str]:
+    """All NF-condition violations, as human-readable strings."""
+    hypergraph = decomposition.hypergraph
+    violations: List[str] = []
+
+    for node in decomposition.root.walk():
+        components = vertex_connected_components(hypergraph, node.chi)
+        for child in node.children:
+            subtree_vars = _subtree_variables(child) - node.chi
+            if not subtree_vars:
+                violations.append(
+                    f"node {node.node_id} → child {child.node_id}: the child "
+                    "subtree introduces no new variables (condition 1)"
+                )
+                continue
+            matching = [c for c in components if subtree_vars <= c]
+            if not matching or matching[0] != subtree_vars:
+                violations.append(
+                    f"node {node.node_id} → child {child.node_id}: subtree "
+                    f"variables {sorted(subtree_vars)} are not exactly one "
+                    f"[χ(p)]-component (condition 1)"
+                )
+            # Frontier: χ(p)-variables on edges touching the component.
+            frontier: Set[str] = set()
+            for edge in hypergraph:
+                if edge.vertices & subtree_vars:
+                    frontier |= edge.vertices & node.chi
+            lam_vars = decomposition.lambda_variables(child)
+            expected_chi = lam_vars & (subtree_vars | frontier)
+            if child.chi != expected_chi:
+                violations.append(
+                    f"child {child.node_id}: χ = {sorted(child.chi)} but the "
+                    f"normal form requires var(λ) ∩ (V_c ∪ frontier) = "
+                    f"{sorted(expected_chi)} (condition 2)"
+                )
+            if not lam_vars & subtree_vars:
+                violations.append(
+                    f"child {child.node_id}: λ touches none of the component "
+                    "variables — no progress (condition 3)"
+                )
+    return violations
+
+
+def is_normal_form(decomposition: Hypertree) -> bool:
+    """True when the decomposition satisfies all three NF conditions."""
+    return not normal_form_violations(decomposition)

@@ -1,0 +1,379 @@
+"""The simulated DBMS façade: engine profiles, SQL entry point, handler hook.
+
+Two profiles stand in for the paper's systems:
+
+* :data:`COMMDB_PROFILE` — "a leader DBMS": bushy-tree exhaustive DP,
+  no GEQO, low per-work-unit overhead.  Running it with
+  ``optimizer_enabled=False`` reproduces the paper's "CommDB without its
+  standard optimizer" baseline (syntactic join order, no predicate
+  pushdown).
+* :data:`POSTGRES_PROFILE` — PostgreSQL 8.3: left-deep DP below the GEQO
+  threshold, genetic search above it, higher per-work-unit overhead.
+
+The *optimizer handler* hook is the reproduction of Fig. 6: the tight
+coupling (:func:`repro.core.integration.install_structural_optimizer`)
+replaces the handler so queries are planned by cost-k-decomp instead of
+the built-in join-order search — completely transparently to ``run_sql``
+callers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import OptimizationError, WorkBudgetExceeded
+from repro.engine.cost import CardinalityEstimator, EstimationContext
+from repro.engine.executor import ExecutionResult
+from repro.engine.geqo import GeqoOptimizer
+from repro.engine.optimizer import JoinOrderOptimizer, syntactic_plan
+from repro.engine.plan import JoinNode, PlanNode, ScanNode, render_plan
+from repro.engine.postprocess import apply_sql_semantics
+from repro.engine.scans import apply_residual_filters, atom_relations_sql
+from repro.metering import SpillModel, WorkMeter
+from repro.query import ast
+from repro.query.parser import parse_sql
+from repro.query.translate import TranslationResult, sql_to_conjunctive
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+# An optimizer handler receives the DBMS, the translated query and the run's
+# meter, and returns the conjunctive answer (variables covering out(Q)) plus
+# a plan description for EXPLAIN.
+OptimizerHandler = Callable[
+    ["SimulatedDBMS", TranslationResult, WorkMeter], Tuple[Relation, str]
+]
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Behavioural knobs of a simulated engine.
+
+    Attributes:
+        name: display name ("postgresql", "commdb").
+        search: DP search space — ``"bushy"`` or ``"leftdeep"``.
+        geqo_threshold: FROM-clause size at which the genetic optimizer
+            replaces DP (None = never, like the commercial profile).
+        work_time_factor: simulated seconds per work unit; models the
+            engines' different per-tuple constants (the paper's PostgreSQL
+            is markedly slower than CommDB on identical plans, cf. Fig. 9).
+        geqo_generations / geqo_population: GA effort knobs.
+        memory_tuples / spill_factor: memory-pressure model — intermediates
+            larger than ``memory_tuples`` charge ``spill_factor`` extra
+            work per overflowing tuple (the paper's 512 MB laptop spilling
+            to a 5400 rpm disk).  None disables spilling.
+        join_algorithm: the default physical join ("hash" or "merge").
+        nlj_threshold: when a join input's estimated rows fall at or below
+            this, nested loops replace the default algorithm (no build cost
+            for tiny inputs).
+    """
+
+    name: str
+    search: str = "bushy"
+    geqo_threshold: Optional[int] = None
+    work_time_factor: float = 1e-6
+    geqo_generations: int = 40
+    geqo_population: int = 32
+    memory_tuples: Optional[int] = 20_000
+    spill_factor: float = 10.0
+    join_algorithm: str = "hash"
+    nlj_threshold: float = 4.0
+
+
+POSTGRES_PROFILE = EngineProfile(
+    name="postgresql",
+    search="leftdeep",
+    geqo_threshold=8,
+    work_time_factor=4e-6,
+)
+
+COMMDB_PROFILE = EngineProfile(
+    name="commdb",
+    search="bushy",
+    geqo_threshold=None,
+    work_time_factor=1e-6,
+)
+
+
+@dataclass
+class DBMSResult:
+    """Outcome of one ``run_sql`` call.
+
+    Attributes:
+        relation: final SQL result (None when the run did not finish).
+        answer: the conjunctive core's answer before post-processing.
+        work: total work units; the machine-independent "time" measure.
+        simulated_seconds: work × the profile's per-unit factor.
+        elapsed_seconds: actual wall-clock duration.
+        plan_text: EXPLAIN rendering of the executed plan.
+        finished: False when the work budget was exhausted (DNF).
+        used_statistics: whether the optimizer consulted ANALYZE data.
+        optimizer: label of the planner that produced the plan
+            ("dp-bushy", "dp-leftdeep", "geqo", "syntactic", "q-hd").
+    """
+
+    relation: Optional[Relation]
+    answer: Optional[Relation]
+    work: int
+    simulated_seconds: float
+    elapsed_seconds: float
+    plan_text: str
+    finished: bool
+    used_statistics: bool
+    optimizer: str
+
+
+class SimulatedDBMS:
+    """An instrumented DBMS over an in-memory :class:`Database`.
+
+    Args:
+        database: the stored data (+ statistics when analyzed).
+        profile: behavioural profile (PostgreSQL-like or CommDB-like).
+    """
+
+    def __init__(self, database: Database, profile: EngineProfile = COMMDB_PROFILE):
+        self.database = database
+        self.profile = profile
+        self.optimizer_handler: Optional[OptimizerHandler] = None
+        self.spill_model: Optional[SpillModel] = None
+        if profile.memory_tuples is not None:
+            self.spill_model = SpillModel(
+                profile.memory_tuples, profile.spill_factor
+            )
+
+    # ------------------------------------------------------------------
+    # The Fig. 6 hook
+    # ------------------------------------------------------------------
+
+    def set_optimizer_handler(self, handler: Optional[OptimizerHandler]) -> None:
+        """Install (or clear) a replacement optimizer handler.
+
+        This is the modification the paper makes to PostgreSQL's
+        *Optimizer handler* module: control no longer passes to the
+        built-in planners but to the structural pipeline.
+        """
+        self.optimizer_handler = handler
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+
+    def translate(
+        self, sql: Union[str, ast.SelectQuery], name: str = "Q"
+    ) -> TranslationResult:
+        """Parse (if needed) and translate a query against this database.
+
+        Uncorrelated IN-subqueries are flattened here: each subquery is
+        executed once (through this engine, bypassing any structural
+        handler) and replaced by the IN-list of its answers — so the
+        conjunctive pipeline only ever sees flat queries.
+        """
+        from repro.query.subqueries import flatten_subqueries, has_subqueries
+
+        query = parse_sql(sql) if isinstance(sql, str) else sql
+        schema = self.database.schema.as_mapping()
+        if has_subqueries(query):
+            def run_subquery(subquery: ast.SelectQuery):
+                result = self.run_sql(subquery, bypass_handler=True)
+                relation = result.relation
+                if relation is None:
+                    raise OptimizationError("subquery execution did not finish")
+                return [row[0] for row in relation.tuples]
+
+            query = flatten_subqueries(query, run_subquery, schema)
+        return sql_to_conjunctive(query, schema, name=name)
+
+    def run_sql(
+        self,
+        sql: Union[str, ast.SelectQuery, TranslationResult],
+        use_statistics: Optional[bool] = None,
+        optimizer_enabled: bool = True,
+        work_budget: Optional[int] = None,
+        bypass_handler: bool = False,
+    ) -> DBMSResult:
+        """Plan and execute a SQL query.
+
+        Args:
+            sql: SQL text, a parsed AST, or a pre-built translation.
+            use_statistics: consult ANALYZE statistics; defaults to whether
+                the database has them (a fresh database runs on magic
+                defaults, like a real system before ANALYZE).
+            optimizer_enabled: when False, run the syntactic baseline —
+                FROM-order left-deep joins without predicate pushdown (the
+                paper's "without its standard optimizer" mode).
+            work_budget: abort after this many work units (DNF), the
+                simulated "10-minute timeout".
+            bypass_handler: ignore an installed structural handler (used by
+                the tight coupling itself to delegate subproblems to the
+                built-in engine).
+        """
+        translation = (
+            sql if isinstance(sql, TranslationResult) else self.translate(sql)
+        )
+        if use_statistics is None:
+            use_statistics = self.database.has_statistics()
+        meter = WorkMeter(budget=work_budget)
+        started = time.perf_counter()
+
+        if self.optimizer_handler is not None and not bypass_handler:
+            return self._run_with_handler(translation, meter, started)
+
+        try:
+            answer, plan_text, label = self.plan_and_join(
+                translation, meter, use_statistics, optimizer_enabled
+            )
+            final = apply_sql_semantics(answer, translation, meter)
+            finished = True
+        except WorkBudgetExceeded:
+            answer, final, finished = None, None, False
+            plan_text, label = "(aborted)", "aborted"
+        elapsed = time.perf_counter() - started
+        return DBMSResult(
+            relation=final,
+            answer=answer,
+            work=meter.total,
+            simulated_seconds=meter.total * self.profile.work_time_factor,
+            elapsed_seconds=elapsed,
+            plan_text=plan_text,
+            finished=finished,
+            used_statistics=use_statistics,
+            optimizer=label,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_with_handler(
+        self, translation: TranslationResult, meter: WorkMeter, started: float
+    ) -> DBMSResult:
+        assert self.optimizer_handler is not None
+        try:
+            answer, plan_text = self.optimizer_handler(self, translation, meter)
+            final = apply_sql_semantics(answer, translation, meter)
+            finished = True
+        except WorkBudgetExceeded:
+            answer, final, finished = None, None, False
+            plan_text = "(aborted)"
+        elapsed = time.perf_counter() - started
+        return DBMSResult(
+            relation=final,
+            answer=answer,
+            work=meter.total,
+            simulated_seconds=meter.total * self.profile.work_time_factor,
+            elapsed_seconds=elapsed,
+            plan_text=plan_text,
+            finished=finished,
+            used_statistics=self.database.has_statistics(),
+            optimizer="q-hd",
+        )
+
+    def plan_and_join(
+        self,
+        translation: TranslationResult,
+        meter: WorkMeter,
+        use_statistics: bool,
+        optimizer_enabled: bool,
+    ) -> Tuple[Relation, str, str]:
+        """Build and execute the join plan; returns (CQ answer, plan, label)."""
+        context = EstimationContext.build(
+            translation, self.database, use_statistics
+        )
+        estimator = CardinalityEstimator(context)
+        push = optimizer_enabled
+        base, residual = atom_relations_sql(
+            translation.query, self.database, translation, meter, push_filters=push
+        )
+
+        n_relations = len(translation.query.atoms)
+        if not optimizer_enabled:
+            plan = syntactic_plan(translation, estimator)
+            label = "syntactic"
+        elif (
+            self.profile.geqo_threshold is not None
+            and n_relations >= self.profile.geqo_threshold
+        ):
+            plan = GeqoOptimizer(
+                translation,
+                estimator,
+                population_size=self.profile.geqo_population,
+                generations=self.profile.geqo_generations,
+            ).optimize()
+            label = "geqo"
+        else:
+            plan = JoinOrderOptimizer(
+                translation, estimator, search=self.profile.search
+            ).optimize()
+            label = f"dp-{self.profile.search}"
+
+        self._assign_join_algorithms(plan)
+        joined = self._execute_plan(plan, base, meter)
+        if residual:
+            joined = apply_residual_filters(joined, residual, meter)
+        output = list(translation.query.output)
+        answer = joined.project(output, dedup=True, meter=meter)
+        return answer, render_plan(plan), label
+
+    def _assign_join_algorithms(self, plan: PlanNode) -> None:
+        """Pick a physical operator per join from the profile + estimates."""
+        for node in plan.walk():
+            if not isinstance(node, JoinNode):
+                continue
+            if node.is_cross_product:
+                node.algorithm = "hash"  # natural_join handles the cross case
+            elif (
+                min(node.left.estimated_rows, node.right.estimated_rows)
+                <= self.profile.nlj_threshold
+            ):
+                node.algorithm = "nlj"
+            else:
+                node.algorithm = self.profile.join_algorithm
+
+    def _execute_plan(
+        self,
+        plan: PlanNode,
+        base: Mapping[str, Relation],
+        meter: WorkMeter,
+    ) -> Relation:
+        if isinstance(plan, ScanNode):
+            relation = base[plan.alias]
+            meter.charge(len(relation), "scan")
+            return relation
+        assert isinstance(plan, JoinNode)
+        left = self._execute_plan(plan.left, base, meter)
+        right = self._execute_plan(plan.right, base, meter)
+        if plan.algorithm == "merge" and not plan.is_cross_product:
+            joined = left.merge_join(right, meter=meter)
+        elif plan.algorithm == "nlj" and not plan.is_cross_product:
+            small, big = (left, right) if len(left) <= len(right) else (right, left)
+            joined = small.nested_loop_join(big, meter=meter)
+        else:
+            joined = left.natural_join(right, meter=meter)
+        if self.spill_model is not None:
+            self.spill_model.charge(meter, len(joined))
+        return joined
+
+    # ------------------------------------------------------------------
+
+    def explain(
+        self,
+        sql: Union[str, ast.SelectQuery],
+        use_statistics: Optional[bool] = None,
+    ) -> str:
+        """EXPLAIN without executing: render the chosen join plan."""
+        translation = self.translate(sql)
+        if use_statistics is None:
+            use_statistics = self.database.has_statistics()
+        context = EstimationContext.build(translation, self.database, use_statistics)
+        estimator = CardinalityEstimator(context)
+        n_relations = len(translation.query.atoms)
+        if (
+            self.profile.geqo_threshold is not None
+            and n_relations >= self.profile.geqo_threshold
+        ):
+            plan = GeqoOptimizer(translation, estimator).optimize()
+        else:
+            plan = JoinOrderOptimizer(
+                translation, estimator, search=self.profile.search
+            ).optimize()
+        self._assign_join_algorithms(plan)
+        return render_plan(plan)

@@ -1,0 +1,197 @@
+"""Base-scan construction: query atoms → variable-named relations.
+
+Shared by the simulated DBMS executor and the decomposition evaluators.
+Two binding modes:
+
+* **SQL mode** (with a :class:`repro.query.translate.TranslationResult`):
+  each FROM alias's stored relation gets its pushed-down constant filters
+  and intra-relation equalities applied, then is projected/renamed onto the
+  CQ variables it carries;
+* **positional mode** (direct conjunctive queries): atom terms bind
+  positionally to relation attributes; constant terms become equality
+  filters, repeated variables become intra-relation equalities.
+
+``push_filters=False`` reproduces the *optimizer disabled* baseline: scans
+stay unfiltered and the constant predicates are returned as residual
+predicates to apply after the joins (the naive evaluation order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ExecutionError, QueryError
+from repro.engine.expressions import compile_filter, conjunction
+from repro.metering import NULL_METER, WorkMeter
+from repro.query import ast
+from repro.query.conjunctive import ConjunctiveQuery, Constant
+from repro.query.translate import TranslationResult
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+Row = Tuple[object, ...]
+
+
+def atom_relations(
+    query: ConjunctiveQuery,
+    database: Database,
+    translation: Optional[TranslationResult] = None,
+    meter: WorkMeter = NULL_METER,
+) -> Dict[str, Relation]:
+    """Build per-atom base relations with filters pushed down."""
+    if translation is not None:
+        relations, _residual = atom_relations_sql(
+            query, database, translation, meter, push_filters=True
+        )
+        return relations
+    return atom_relations_positional(query, database, meter)
+
+
+def atom_relations_sql(
+    query: ConjunctiveQuery,
+    database: Database,
+    translation: TranslationResult,
+    meter: WorkMeter = NULL_METER,
+    push_filters: bool = True,
+) -> Tuple[Dict[str, Relation], List[Callable[[Row], bool]]]:
+    """SQL-mode base scans.
+
+    Returns ``(relations, residual_predicates)``; the residual list is
+    empty when filters are pushed down.  Residual predicates operate on
+    rows of a relation whose attributes are CQ variables — they are meant
+    to be applied on the final join result (the naive baseline).
+    """
+    relations: Dict[str, Relation] = {}
+    residual: List[Callable[[Row], bool]] = []
+    residual_specs: List[Tuple[str, ast.Comparison]] = []
+
+    for atom in query.atoms:
+        alias = atom.name
+        base = database.table(atom.relation)
+        meter.charge(len(base), "scan")
+
+        filtered = base
+        if push_filters:
+            def resolve(
+                ref: ast.ColumnRef, _base: Relation = base, _alias: str = alias
+            ) -> int:
+                if ref.table is not None and ref.table != _alias:
+                    raise ExecutionError(
+                        f"filter for alias {_alias!r} references {ref.table!r}"
+                    )
+                return _base.index_of(ref.column)
+
+            predicates = [
+                compile_filter(comparison, resolve)
+                for comparison in translation.atom_filters.get(alias, ())
+            ]
+            if predicates:
+                filtered = filtered.select(conjunction(predicates))
+        else:
+            for comparison in translation.atom_filters.get(alias, ()):
+                residual_specs.append((alias, comparison))
+
+        for left, right in translation.intra_atom_equalities.get(alias, ()):
+            filtered = filtered.select_attr_eq(left, right)
+
+        columns: List[str] = []
+        variables: List[str] = []
+        for variable in atom.terms:
+            assert isinstance(variable, str)
+            columns.append(translation.variable_bindings[variable][alias])
+            variables.append(variable)
+        projected = filtered.project(columns, dedup=push_filters)
+        relations[alias] = Relation(variables, projected.tuples, name=alias)
+
+    # Residual predicates reference CQ variables of the joined result.
+    for alias, comparison in residual_specs:
+        residual.append(_residual_predicate(translation, comparison))
+    return relations, residual
+
+
+class _VariableResolverFactory:
+    """Late-bound resolver: column refs → positions in the joined relation."""
+
+    def __init__(self, translation: TranslationResult):
+        self.translation = translation
+        self.attribute_index: Optional[Dict[str, int]] = None
+
+    def bind(self, relation: Relation) -> None:
+        self.attribute_index = {a: i for i, a in enumerate(relation.attributes)}
+
+    def __call__(self, ref: ast.ColumnRef) -> int:
+        variable = self.translation.resolve_variable(ref)
+        if self.attribute_index is None:
+            raise ExecutionError("residual predicate used before bind()")
+        try:
+            return self.attribute_index[variable]
+        except KeyError:
+            raise ExecutionError(
+                f"variable {variable!r} missing from the joined relation"
+            ) from None
+
+
+def _residual_predicate(
+    translation: TranslationResult, comparison: ast.Comparison
+) -> Callable[[Row], bool]:
+    """A predicate over join-result rows, resolved lazily at first use."""
+    factory = _VariableResolverFactory(translation)
+    compiled: List[Callable[[Row], bool]] = []
+
+    def predicate(row: Row) -> bool:
+        if not compiled:
+            raise ExecutionError("residual predicate not bound to a relation")
+        return compiled[0](row)
+
+    def bind(relation: Relation) -> None:
+        factory.bind(relation)
+        compiled.clear()
+        compiled.append(compile_filter(comparison, factory))
+
+    predicate.bind = bind  # type: ignore[attr-defined]
+    return predicate
+
+
+def apply_residual_filters(
+    relation: Relation,
+    predicates: List[Callable[[Row], bool]],
+    meter: WorkMeter = NULL_METER,
+) -> Relation:
+    """Apply residual (non-pushed) filters to the joined relation."""
+    for predicate in predicates:
+        bind = getattr(predicate, "bind", None)
+        if bind is not None:
+            bind(relation)
+        relation = relation.select(predicate, meter=meter)
+    return relation
+
+
+def atom_relations_positional(
+    query: ConjunctiveQuery,
+    database: Database,
+    meter: WorkMeter = NULL_METER,
+) -> Dict[str, Relation]:
+    """Positional-mode base scans for direct conjunctive queries."""
+    relations: Dict[str, Relation] = {}
+    for atom in query.atoms:
+        base = database.table(atom.relation)
+        if len(atom.terms) != len(base.attributes):
+            raise QueryError(
+                f"atom {atom.name!r} has arity {len(atom.terms)} but relation "
+                f"{atom.relation!r} has arity {len(base.attributes)}"
+            )
+        meter.charge(len(base), "scan")
+        filtered = base
+        first_position: Dict[str, str] = {}
+        for attribute, term in zip(base.attributes, atom.terms):
+            if isinstance(term, Constant):
+                filtered = filtered.select_compare(attribute, "=", term.value)
+            elif term in first_position:
+                filtered = filtered.select_attr_eq(first_position[term], attribute)
+            else:
+                first_position[term] = attribute
+        variables = sorted(first_position)
+        columns = [first_position[v] for v in variables]
+        projected = filtered.project(columns, dedup=True)
+        relations[atom.name] = Relation(variables, projected.tuples, name=atom.name)
+    return relations

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the optimizer can catch a single base class.  More specific
+subclasses are raised close to the failure site and carry enough context to
+diagnose the problem without reading library source.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class HypergraphError(ReproError):
+    """Malformed hypergraph input or an operation on missing vertices/edges."""
+
+
+class QueryError(ReproError):
+    """Malformed query (conjunctive or SQL) or unsupported construct."""
+
+
+class SqlSyntaxError(QueryError):
+    """Raised by the SQL lexer/parser on syntactically invalid input.
+
+    Attributes:
+        position: character offset in the input where the error was detected,
+            or ``None`` when the error is not tied to one position.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None):
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """Schema violation: unknown relation/attribute, arity or type mismatch."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class WorkBudgetExceeded(ExecutionError):
+    """The executor's work budget was exhausted.
+
+    The benchmark harness catches this to record a did-not-finish data point
+    (the paper reports such runs as "> 10 minutes").
+    """
+
+    def __init__(self, budget: int, spent: int):
+        super().__init__(
+            f"work budget exceeded: spent {spent} work units of {budget} allowed"
+        )
+        self.budget = budget
+        self.spent = spent
+
+
+class DecompositionError(ReproError):
+    """A decomposition-related invariant was violated."""
+
+
+class DecompositionNotFound(DecompositionError):
+    """No decomposition with the requested properties exists.
+
+    Mirrors the "Failure" output of Algorithm q-HypertreeDecomp (Fig. 4 of
+    the paper): there is no hypertree decomposition of width at most ``k``
+    whose root covers the output variables.
+    """
+
+    def __init__(self, message: str, width: "int | None" = None):
+        super().__init__(message)
+        self.width = width
+
+
+class OptimizationError(ReproError):
+    """The quantitative optimizer could not produce a plan."""

@@ -1,0 +1,150 @@
+"""Biconnected components: the earliest structural decomposition method.
+
+The paper's introduction lists Freuder's biconnected-components method [2]
+among the structural techniques hypertree decompositions generalize.  A
+query's primal graph splits at articulation (cut) vertices into biconnected
+blocks; evaluation cost is then bounded by the largest block, and the
+block–cut tree gives an evaluation order.
+
+This module implements Hopcroft–Tarjan biconnected components over the
+query's primal graph, the block–cut tree, and the *biconnected width* (size
+of the largest block) — a coarse upper bound that hypertree width always
+improves on (hw(H) ≤ bicomp-width for every hypergraph, and is often much
+smaller — that gap is what motivates the paper's method).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import HypergraphError
+from repro.hypergraph.algorithms import primal_graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def biconnected_components(
+    adjacency: Dict[str, Set[str]],
+) -> Tuple[List[FrozenSet[str]], FrozenSet[str]]:
+    """Biconnected components and articulation vertices of a graph.
+
+    Iterative Hopcroft–Tarjan over an adjacency mapping.  Isolated vertices
+    form singleton components.
+
+    Returns:
+        ``(components, articulation_vertices)`` where each component is a
+        frozen set of vertices.
+    """
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    parent: Dict[str, Optional[str]] = {}
+    counter = 0
+    components: List[FrozenSet[str]] = []
+    articulation: Set[str] = set()
+    edge_stack: List[Tuple[str, str]] = []
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        if not adjacency[root]:
+            components.append(frozenset({root}))
+            continue
+        # Iterative DFS with explicit neighbour iterators.
+        parent[root] = None
+        index[root] = low[root] = counter
+        counter += 1
+        root_children = 0
+        stack = [(root, iter(sorted(adjacency[root])))]
+        while stack:
+            vertex, neighbours = stack[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour == parent[vertex]:
+                    continue
+                if neighbour not in index:
+                    parent[neighbour] = vertex
+                    index[neighbour] = low[neighbour] = counter
+                    counter += 1
+                    edge_stack.append((vertex, neighbour))
+                    if vertex == root:
+                        root_children += 1
+                    stack.append((neighbour, iter(sorted(adjacency[neighbour]))))
+                    advanced = True
+                    break
+                if index[neighbour] < index[vertex]:
+                    # Back edge.
+                    edge_stack.append((vertex, neighbour))
+                    low[vertex] = min(low[vertex], index[neighbour])
+            if advanced:
+                continue
+            stack.pop()
+            if not stack:
+                continue
+            above, _ = stack[-1]
+            low[above] = min(low[above], low[vertex])
+            if low[vertex] >= index[above]:
+                # `above` separates `vertex`'s subtree: pop one block.
+                block: Set[str] = set()
+                while edge_stack:
+                    u, v = edge_stack[-1]
+                    if index.get(u, -1) >= index[vertex] or (u, v) == (above, vertex):
+                        edge_stack.pop()
+                        block.update((u, v))
+                        if (u, v) == (above, vertex):
+                            break
+                    else:
+                        break
+                if block:
+                    components.append(frozenset(block))
+                if above != root or root_children > 1:
+                    articulation.add(above)
+        # Any residual edges (shouldn't happen) — flush defensively.
+        if edge_stack:
+            block = set()
+            for u, v in edge_stack:
+                block.update((u, v))
+            edge_stack.clear()
+            components.append(frozenset(block))
+    return components, frozenset(articulation)
+
+
+def primal_biconnected_components(
+    hypergraph: Hypergraph,
+) -> Tuple[List[FrozenSet[str]], FrozenSet[str]]:
+    """Biconnected components of the query's primal graph."""
+    return biconnected_components(primal_graph(hypergraph))
+
+
+def biconnected_width(hypergraph: Hypergraph) -> int:
+    """Freuder's bound: the size of the largest biconnected block.
+
+    For acyclic (Berge-cycle-free primal) inputs this is ≤ the largest
+    hyperedge; for cyclic queries it can be as large as var(H) — the gap to
+    hypertree width is what motivated the later decomposition methods.
+    """
+    if len(hypergraph) == 0:
+        return 0
+    components, _ = primal_biconnected_components(hypergraph)
+    if not components:
+        return 1
+    return max(len(c) for c in components)
+
+
+def block_cut_tree(
+    hypergraph: Hypergraph,
+) -> Dict[FrozenSet[str], List[FrozenSet[str]]]:
+    """The block–cut adjacency: block → neighbouring blocks.
+
+    Two blocks are adjacent when they share an articulation vertex; the
+    resulting structure is a forest, Freuder's evaluation skeleton.
+    """
+    components, articulation = primal_biconnected_components(hypergraph)
+    adjacency: Dict[FrozenSet[str], List[FrozenSet[str]]] = {
+        block: [] for block in components
+    }
+    for vertex in articulation:
+        touching = [block for block in components if vertex in block]
+        for i, block in enumerate(touching):
+            for other in touching[i + 1 :]:
+                adjacency[block].append(other)
+                adjacency[other].append(block)
+    return adjacency

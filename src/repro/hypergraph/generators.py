@@ -1,0 +1,113 @@
+"""Generators for structured and random hypergraphs.
+
+Used by tests, property-based checks and the synthetic workloads of §6:
+*line* hypergraphs are the acyclic queries of Fig. 7(a)/(c), *cycle*
+hypergraphs are the chain queries of Fig. 7(b)/(d), and grids/cliques give
+families of known treewidth/hypertree-width for exercising the decomposer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import HypergraphError
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+
+
+def line_hypergraph(n_atoms: int, shared: int = 1, private: int = 1) -> Hypergraph:
+    """The hypergraph of an acyclic *line* query with ``n_atoms`` atoms.
+
+    Atom ``p_i`` shares ``shared`` variables with ``p_{i+1}`` and has
+    ``private`` variables of its own:  x_i ∩ x_{i+1} ≠ ∅ and
+    x_i ∩ x_j = ∅ for non-adjacent i, j — exactly the acyclic family of §6.
+    """
+    if n_atoms < 1:
+        raise HypergraphError("a line hypergraph needs at least one atom")
+    edges: List[Hyperedge] = []
+    for i in range(n_atoms):
+        vertices = [f"S{i}_{j}" for j in range(shared)]  # shared with p_{i+1}
+        if i > 0:
+            vertices += [f"S{i - 1}_{j}" for j in range(shared)]
+        vertices += [f"P{i}_{j}" for j in range(private)]
+        edges.append(Hyperedge(f"p{i}", vertices))
+    return Hypergraph(edges)
+
+
+def cycle_hypergraph(n_atoms: int, shared: int = 1, private: int = 1) -> Hypergraph:
+    """The hypergraph of a *chain* query: a line whose endpoints also share.
+
+    This is the simplest cyclic variation of the line family (x_1 ∩ x_n ≠ ∅,
+    §6 of the paper); its hypertree width is 2 for ``n_atoms`` ≥ 3.
+    """
+    if n_atoms < 2:
+        raise HypergraphError("a cycle hypergraph needs at least two atoms")
+    edges: List[Hyperedge] = []
+    for i in range(n_atoms):
+        vertices = [f"S{i}_{j}" for j in range(shared)]
+        prev = (i - 1) % n_atoms
+        vertices += [f"S{prev}_{j}" for j in range(shared)]
+        vertices += [f"P{i}_{j}" for j in range(private)]
+        edges.append(Hyperedge(f"p{i}", vertices))
+    return Hypergraph(edges)
+
+
+def clique_hypergraph(n_vertices: int) -> Hypergraph:
+    """All 2-element hyperedges over ``n_vertices`` vertices (a graph clique)."""
+    if n_vertices < 2:
+        raise HypergraphError("a clique hypergraph needs at least two vertices")
+    edges = []
+    for i in range(n_vertices):
+        for j in range(i + 1, n_vertices):
+            edges.append(Hyperedge(f"e{i}_{j}", [f"X{i}", f"X{j}"]))
+    return Hypergraph(edges)
+
+
+def grid_hypergraph(rows: int, cols: int) -> Hypergraph:
+    """Binary-edge grid graph as a hypergraph (treewidth = min(rows, cols))."""
+    if rows < 1 or cols < 1:
+        raise HypergraphError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(
+                    Hyperedge(f"h{r}_{c}", [f"V{r}_{c}", f"V{r}_{c + 1}"])
+                )
+            if r + 1 < rows:
+                edges.append(
+                    Hyperedge(f"v{r}_{c}", [f"V{r}_{c}", f"V{r + 1}_{c}"])
+                )
+    return Hypergraph(edges)
+
+
+def random_hypergraph(
+    n_vertices: int,
+    n_edges: int,
+    max_arity: int = 4,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """A random hypergraph with connected cover of the vertex universe.
+
+    Every edge picks between 1 and ``max_arity`` distinct vertices uniformly;
+    a final pass guarantees every vertex occurs in at least one edge so the
+    result is a well-formed query hypergraph.
+    """
+    if n_vertices < 1 or n_edges < 1:
+        raise HypergraphError("random hypergraph needs positive sizes")
+    if max_arity < 1:
+        raise HypergraphError("max_arity must be at least 1")
+    rng = random.Random(seed)
+    universe = [f"X{i}" for i in range(n_vertices)]
+    edges: List[Hyperedge] = []
+    for i in range(n_edges):
+        arity = rng.randint(1, min(max_arity, n_vertices))
+        vertices = rng.sample(universe, arity)
+        edges.append(Hyperedge(f"r{i}", vertices))
+    covered = set()
+    for edge in edges:
+        covered |= edge.vertices
+    missing = [v for v in universe if v not in covered]
+    for k, vertex in enumerate(missing):
+        edges.append(Hyperedge(f"fill{k}", [vertex]))
+    return Hypergraph(edges)

@@ -1,0 +1,127 @@
+"""Join-tree / join-forest construction for acyclic hypergraphs.
+
+A *join forest* of a hypergraph has one node per hyperedge; for any two
+hyperedges sharing variables, the shared variables appear on every node of
+the (unique) path between them (§2 of the paper).  Acyclic queries are
+exactly those admitting a join forest, and Yannakakis's algorithm runs over
+it.
+
+Construction rides on GYO reduction: when an ear ``h`` is absorbed by
+``h'``, attach ``h`` as a child of ``h'``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import HypergraphError
+from repro.hypergraph.algorithms import gyo_reduction
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+
+
+class JoinTreeNode:
+    """One node of a join tree: a hyperedge plus its children."""
+
+    __slots__ = ("edge", "children", "parent")
+
+    def __init__(self, edge: Hyperedge):
+        self.edge = edge
+        self.children: List["JoinTreeNode"] = []
+        self.parent: Optional["JoinTreeNode"] = None
+
+    def add_child(self, child: "JoinTreeNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def walk(self) -> Iterable["JoinTreeNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def postorder(self) -> Iterable["JoinTreeNode"]:
+        """Post-order traversal (children before parents) — Yannakakis order."""
+        for child in self.children:
+            yield from child.postorder()
+        yield self
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __repr__(self) -> str:
+        return f"JoinTreeNode({self.edge!r}, children={len(self.children)})"
+
+
+def build_join_forest(hypergraph: Hypergraph) -> List[JoinTreeNode]:
+    """Build a join forest for an acyclic hypergraph.
+
+    Returns one root per connected component.  Raises
+    :class:`HypergraphError` if the hypergraph is cyclic.
+    """
+    if len(hypergraph) == 0:
+        return []
+    residual, removal_log = gyo_reduction(hypergraph)
+    if len(residual) != 0:
+        raise HypergraphError(
+            "hypergraph is cyclic; no join forest exists "
+            f"(irreducible core: {sorted(e.name for e in residual)})"
+        )
+
+    nodes: Dict[str, JoinTreeNode] = {
+        edge.name: JoinTreeNode(edge) for edge in hypergraph
+    }
+    roots: List[JoinTreeNode] = []
+    for removed, absorber in removal_log:
+        if absorber is None:
+            roots.append(nodes[removed])
+        else:
+            nodes[absorber].add_child(nodes[removed])
+    return roots
+
+
+def build_join_tree(hypergraph: Hypergraph) -> JoinTreeNode:
+    """Build a join tree; requires the hypergraph to be acyclic *and* connected.
+
+    For convenience, a forest with several roots is stitched under the first
+    root only when the roots share no variables (true forests); otherwise a
+    :class:`HypergraphError` is raised.
+    """
+    roots = build_join_forest(hypergraph)
+    if not roots:
+        raise HypergraphError("cannot build a join tree of an empty hypergraph")
+    if len(roots) == 1:
+        return roots[0]
+    # Disconnected acyclic hypergraph: gluing the roots is safe because the
+    # connectedness condition is vacuous across variable-disjoint subtrees.
+    head, *rest = roots
+    for other in rest:
+        if head.edge.vertices & other.edge.vertices:
+            raise HypergraphError("join forest roots unexpectedly share variables")
+        head.add_child(other)
+    return head
+
+
+def verify_join_tree(root: JoinTreeNode) -> bool:
+    """Check the connectedness condition of a join tree.
+
+    For every variable, the set of nodes containing it must induce a
+    connected subtree.  Used by tests and by property-based checks.
+    """
+    # Collect, for each variable, the nodes containing it.
+    holders: Dict[str, List[JoinTreeNode]] = {}
+    for node in root.walk():
+        for vertex in node.edge.vertices:
+            holders.setdefault(vertex, []).append(node)
+
+    # A variable's holders form a connected subtree iff the number of holders
+    # whose parent also holds the variable is exactly len(holders) - 1.
+    for vertex, nodes in holders.items():
+        node_set = set(id(n) for n in nodes)
+        linked = sum(
+            1
+            for node in nodes
+            if node.parent is not None and id(node.parent) in node_set
+        )
+        if linked != len(nodes) - 1:
+            return False
+    return True

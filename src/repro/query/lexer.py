@@ -1,0 +1,145 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat token stream for :mod:`repro.query.parser`.  Understands the
+lexical ground the TPC-H benchmark queries stand on: identifiers, numbers
+(int/float), single-quoted strings, the ``date '...'`` literal form, two-char
+comparison operators, punctuation and ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenKind(enum.Enum):
+    """Token categories emitted by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "group",
+        "order",
+        "by",
+        "as",
+        "asc",
+        "desc",
+        "limit",
+        "between",
+        "date",
+        "interval",
+        "year",
+        "month",
+        "day",
+        "like",
+        "in",
+        "is",
+        "null",
+        "exists",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (character offset)."""
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, kind: TokenKind, value: "str | None" = None) -> bool:
+        if self.kind is not kind:
+            return False
+        if value is None:
+            return True
+        if kind in (TokenKind.KEYWORD, TokenKind.IDENT):
+            return self.value.lower() == value.lower()
+        return self.value == value
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.value}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.;*+\-/])
+    """,
+    re.VERBOSE,
+)
+
+_ARITH = frozenset({"+", "-", "*", "/"})
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token.
+
+    Raises:
+        SqlSyntaxError: on any character that starts no valid token, or an
+            unterminated string literal.
+    """
+    tokens: List[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            if sql[position] == "'":
+                raise SqlSyntaxError(
+                    "unterminated string literal", position=position
+                )
+            raise SqlSyntaxError(
+                f"unexpected character {sql[position]!r}", position=position
+            )
+        start = position
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, start))
+        elif match.lastgroup == "ident":
+            kind = (
+                TokenKind.KEYWORD if text.lower() in KEYWORDS else TokenKind.IDENT
+            )
+            tokens.append(Token(kind, text, start))
+        elif match.lastgroup == "string":
+            inner = text[1:-1].replace("''", "'")
+            tokens.append(Token(TokenKind.STRING, inner, start))
+        elif match.lastgroup == "op":
+            canonical = "<>" if text == "!=" else text
+            tokens.append(Token(TokenKind.OPERATOR, canonical, start))
+        elif match.lastgroup == "punct":
+            if text in _ARITH:
+                tokens.append(Token(TokenKind.OPERATOR, text, start))
+            else:
+                tokens.append(Token(TokenKind.PUNCT, text, start))
+        else:  # pragma: no cover - regex groups are exhaustive
+            raise SqlSyntaxError(f"unhandled token {text!r}", position=start)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

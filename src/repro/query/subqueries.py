@@ -1,0 +1,142 @@
+"""Flattening of uncorrelated IN-subqueries.
+
+The paper defers "dealing with any kind of nested queries" to future work
+but sketches the direction; this module implements the uncorrelated case:
+
+    … WHERE x IN (SELECT y FROM …)
+
+The subquery shares no variables with the outer query (it references only
+its own FROM clause), so it can be evaluated once, up front; its answer
+column becomes a constant :class:`repro.query.ast.InList` filter on the
+outer query, which then proceeds through the normal conjunctive pipeline —
+decomposition included.  Correlated subqueries are detected (a column that
+only resolves against the outer FROM clause) and rejected with a clear
+error, keeping the supported subset honest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.query import ast
+
+# Evaluates one (sub)query and returns its single column's values.
+SubqueryRunner = Callable[[ast.SelectQuery], Sequence[object]]
+
+
+def has_subqueries(query: ast.SelectQuery) -> bool:
+    """True when any WHERE predicate is an IN- or EXISTS-subquery."""
+    return any(
+        isinstance(p, (ast.InSubquery, ast.ExistsSubquery))
+        for p in query.predicates
+    )
+
+
+def _check_uncorrelated(
+    subquery: ast.SelectQuery, schema: Mapping[str, Sequence[str]]
+) -> None:
+    """Reject subqueries referencing columns outside their own FROM clause."""
+    own_aliases = {t.alias for t in subquery.tables}
+    own_columns = set()
+    for table in subquery.tables:
+        if table.relation in schema:
+            own_columns.update(c.lower() for c in schema[table.relation])
+
+    def check_ref(ref: ast.ColumnRef) -> None:
+        if ref.table is not None:
+            if ref.table not in own_aliases:
+                raise QueryError(
+                    f"correlated subquery: {ref} references the outer query "
+                    "(only uncorrelated IN-subqueries are supported)"
+                )
+        elif ref.column not in own_columns:
+            raise QueryError(
+                f"correlated subquery: column {ref.column!r} does not belong "
+                "to the subquery's FROM relations"
+            )
+
+    def check_expression(expression: ast.Expression) -> None:
+        for ref in ast.column_refs(expression):
+            check_ref(ref)
+
+    for item in subquery.select_items:
+        if not isinstance(item.expr, ast.Star):
+            check_expression(item.expr)
+    for predicate in subquery.predicates:
+        if isinstance(predicate, ast.InSubquery):
+            check_expression(predicate.expr)
+            _check_uncorrelated(predicate.subquery, schema)
+        elif isinstance(predicate, ast.ExistsSubquery):
+            _check_uncorrelated(predicate.subquery, schema)
+        elif isinstance(predicate, ast.InList):
+            check_expression(predicate.expr)
+        else:
+            check_expression(predicate.left)
+            check_expression(predicate.right)
+    for column in subquery.group_by:
+        check_ref(column)
+
+
+def flatten_subqueries(
+    query: ast.SelectQuery,
+    run_subquery: SubqueryRunner,
+    schema: Mapping[str, Sequence[str]],
+) -> ast.SelectQuery:
+    """Replace each IN-subquery with the IN-list of its answers.
+
+    Args:
+        query: the outer query (possibly nested several levels deep —
+            subqueries are flattened recursively, innermost first).
+        run_subquery: evaluates one flattened subquery; must return the
+            values of its single output column.
+        schema: relation → attribute names (for correlation checks).
+
+    Raises:
+        QueryError: correlated subquery, or a subquery whose SELECT list is
+            not exactly one column.
+    """
+    if not has_subqueries(query):
+        return query
+
+    new_predicates: List[ast.Comparison] = []
+    for predicate in query.predicates:
+        if isinstance(predicate, ast.ExistsSubquery):
+            _check_uncorrelated(predicate.subquery, schema)
+            flattened = flatten_subqueries(predicate.subquery, run_subquery, schema)
+            values = run_subquery(flattened)
+            if len(values) == 0:
+                # EXISTS failed: the whole conjunction is false — encode it
+                # as an always-false constant comparison (the engine's
+                # translator attaches ref-free filters to the first scan).
+                new_predicates.append(
+                    ast.Comparison("=", ast.Literal(0), ast.Literal(1))
+                )
+            # A satisfied EXISTS simply disappears from the conjunction.
+            continue
+        if not isinstance(predicate, ast.InSubquery):
+            new_predicates.append(predicate)
+            continue
+        subquery = predicate.subquery
+        _check_uncorrelated(subquery, schema)
+        if len(subquery.select_items) != 1 or isinstance(
+            subquery.select_items[0].expr, ast.Star
+        ):
+            raise QueryError(
+                "an IN-subquery must select exactly one column, got: "
+                f"{subquery.to_sql()}"
+            )
+        # Inner nesting first.
+        flattened = flatten_subqueries(subquery, run_subquery, schema)
+        values = tuple(run_subquery(flattened))
+        new_predicates.append(ast.InList(predicate.expr, values))
+
+    return ast.SelectQuery(
+        select_items=query.select_items,
+        tables=query.tables,
+        predicates=tuple(new_predicates),
+        group_by=query.group_by,
+        order_by=query.order_by,
+        distinct=query.distinct,
+        limit=query.limit,
+    )

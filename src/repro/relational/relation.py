@@ -1,0 +1,472 @@
+"""In-memory relations and the tuple-at-a-time relational algebra.
+
+A :class:`Relation` is an ordered attribute list plus a list of value
+tuples.  Every operator charges *work units* (≈ tuples touched) to a
+:class:`repro.metering.WorkMeter`, which is how both the simulated DBMS and
+the decomposition evaluator are compared fairly — and how runaway plans are
+aborted (the meter's budget raises mid-join, before a cartesian product
+materializes).
+
+Natural joins are hash joins on the shared attribute names; a join with no
+shared attributes degenerates to a cartesian product, exactly the failure
+mode of bad quantitative plans the paper's Fig. 7/8 expose.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import SchemaError
+from repro.metering import NULL_METER, WorkMeter
+
+_COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Relation:
+    """A named, attribute-addressed bag of tuples.
+
+    Args:
+        attributes: ordered attribute names (unique).
+        tuples: row values, each of length ``len(attributes)``.
+        name: display name for plans and EXPLAIN output.
+    """
+
+    __slots__ = ("name", "attributes", "tuples", "_index")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        tuples: Iterable[Tuple[object, ...]] = (),
+        name: str = "",
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attribute names: {self.attributes}")
+        self.tuples: List[Tuple[object, ...]] = list(tuples)
+        self.name = name
+        self._index: Dict[str, int] = {
+            attr: i for i, attr in enumerate(self.attributes)
+        }
+        for row in self.tuples:
+            if len(row) != len(self.attributes):
+                raise SchemaError(
+                    f"tuple arity {len(row)} != schema arity "
+                    f"{len(self.attributes)} in relation {self.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:
+        label = self.name or "?"
+        return f"Relation({label}{list(self.attributes)}, {len(self.tuples)} tuples)"
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"has {list(self.attributes)}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._index
+
+    def column(self, attribute: str) -> List[object]:
+        """All values of one attribute, in row order."""
+        idx = self.index_of(attribute)
+        return [row[idx] for row in self.tuples]
+
+    def to_multiset(self) -> Dict[Tuple[object, ...], int]:
+        """Attribute-order-normalized multiset view (for equality in tests)."""
+        order = sorted(range(len(self.attributes)), key=lambda i: self.attributes[i])
+        counts: Dict[Tuple[object, ...], int] = {}
+        for row in self.tuples:
+            key = tuple(row[i] for i in order)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def same_content(self, other: "Relation") -> bool:
+        """Bag equality modulo attribute order."""
+        if set(self.attributes) != set(other.attributes):
+            return False
+        return self.to_multiset() == other.to_multiset()
+
+    def copy(self, name: "str | None" = None) -> "Relation":
+        return Relation(self.attributes, list(self.tuples), name or self.name)
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+
+    def project(
+        self,
+        attributes: Sequence[str],
+        dedup: bool = True,
+        meter: WorkMeter = NULL_METER,
+    ) -> "Relation":
+        """π over ``attributes``; set semantics when ``dedup`` (the default)."""
+        indices = [self.index_of(a) for a in attributes]
+        meter.charge(len(self.tuples), "project")
+        if dedup:
+            seen = set()
+            out: List[Tuple[object, ...]] = []
+            for row in self.tuples:
+                key = tuple(row[i] for i in indices)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        else:
+            out = [tuple(row[i] for i in indices) for row in self.tuples]
+        return Relation(attributes, out, name=self.name)
+
+    def select(
+        self,
+        predicate: Callable[[Tuple[object, ...]], bool],
+        meter: WorkMeter = NULL_METER,
+    ) -> "Relation":
+        """σ with an arbitrary tuple predicate."""
+        meter.charge(len(self.tuples), "select")
+        kept = [row for row in self.tuples if predicate(row)]
+        return Relation(self.attributes, kept, name=self.name)
+
+    def select_compare(
+        self,
+        attribute: str,
+        op: str,
+        value: object,
+        meter: WorkMeter = NULL_METER,
+    ) -> "Relation":
+        """σ attribute ⟨op⟩ constant, with op in ``= <> < <= > >=``."""
+        compare = _COMPARATORS.get(op)
+        if compare is None:
+            raise SchemaError(f"unsupported comparison operator {op!r}")
+        idx = self.index_of(attribute)
+        meter.charge(len(self.tuples), "select")
+        kept = [row for row in self.tuples if compare(row[idx], value)]
+        return Relation(self.attributes, kept, name=self.name)
+
+    def select_attr_eq(
+        self, left: str, right: str, meter: WorkMeter = NULL_METER
+    ) -> "Relation":
+        """σ left = right between two attributes of this relation."""
+        li, ri = self.index_of(left), self.index_of(right)
+        meter.charge(len(self.tuples), "select")
+        kept = [row for row in self.tuples if row[li] == row[ri]]
+        return Relation(self.attributes, kept, name=self.name)
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        """ρ: rename attributes; unmentioned attributes keep their names."""
+        new_attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(new_attrs, self.tuples, name=self.name)
+
+    def distinct(self, meter: WorkMeter = NULL_METER) -> "Relation":
+        meter.charge(len(self.tuples), "distinct")
+        seen = set()
+        out = []
+        for row in self.tuples:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return Relation(self.attributes, out, name=self.name)
+
+    def sort_by(
+        self,
+        keys: Sequence[Tuple[str, bool]],
+        meter: WorkMeter = NULL_METER,
+    ) -> "Relation":
+        """Sort by ``(attribute, descending)`` keys, stably, right-to-left."""
+        meter.charge(len(self.tuples), "sort")
+        rows = list(self.tuples)
+        for attribute, descending in reversed(list(keys)):
+            idx = self.index_of(attribute)
+            rows.sort(key=lambda row: row[idx], reverse=descending)
+        return Relation(self.attributes, rows, name=self.name)
+
+    def limit(self, count: int) -> "Relation":
+        return Relation(self.attributes, self.tuples[:count], name=self.name)
+
+    # ------------------------------------------------------------------
+    # Binary operators
+    # ------------------------------------------------------------------
+
+    def shared_attributes(self, other: "Relation") -> Tuple[str, ...]:
+        """Join attributes: shared names, in this relation's order."""
+        other_set = set(other.attributes)
+        return tuple(a for a in self.attributes if a in other_set)
+
+    def natural_join(
+        self, other: "Relation", meter: WorkMeter = NULL_METER
+    ) -> "Relation":
+        """⋈ hash join on shared attribute names.
+
+        With no shared attributes this is the cartesian product.  Work is
+        charged per input tuple and per output tuple *as produced*, so a
+        budgeted meter aborts a blow-up before it is materialized.
+        """
+        shared = self.shared_attributes(other)
+        # Build on the smaller side.
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        build_idx = [build.index_of(a) for a in shared]
+        probe_idx = [probe.index_of(a) for a in shared]
+
+        out_attrs = list(probe.attributes) + [
+            a for a in build.attributes if a not in probe._index
+        ]
+        build_rest_idx = [
+            i for i, a in enumerate(build.attributes) if a not in probe._index
+        ]
+
+        table: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
+        for row in build.tuples:
+            meter.charge(1, "join-build")
+            key = tuple(row[i] for i in build_idx)
+            table.setdefault(key, []).append(row)
+
+        out: List[Tuple[object, ...]] = []
+        for row in probe.tuples:
+            meter.charge(1, "join-probe")
+            key = tuple(row[i] for i in probe_idx)
+            matches = table.get(key)
+            if not matches:
+                continue
+            for match in matches:
+                meter.charge(1, "join-out")
+                out.append(row + tuple(match[i] for i in build_rest_idx))
+        name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
+        return Relation(out_attrs, out, name=name)
+
+    def nested_loop_join(
+        self, other: "Relation", meter: WorkMeter = NULL_METER
+    ) -> "Relation":
+        """⋈ by nested loops — O(|R|·|S|); the right choice only when one
+        side is tiny (no hash-table build cost)."""
+        shared = self.shared_attributes(other)
+        self_idx = [self.index_of(a) for a in shared]
+        other_idx = [other.index_of(a) for a in shared]
+        out_attrs = list(self.attributes) + [
+            a for a in other.attributes if a not in self._index
+        ]
+        other_rest_idx = [
+            i for i, a in enumerate(other.attributes) if a not in self._index
+        ]
+        out: List[Tuple[object, ...]] = []
+        for row in self.tuples:
+            for other_row in other.tuples:
+                meter.charge(1, "nlj-pair")
+                if all(
+                    row[i] == other_row[j]
+                    for i, j in zip(self_idx, other_idx)
+                ):
+                    out.append(row + tuple(other_row[i] for i in other_rest_idx))
+        name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
+        return Relation(out_attrs, out, name=name)
+
+    def merge_join(
+        self, other: "Relation", meter: WorkMeter = NULL_METER
+    ) -> "Relation":
+        """⋈ by sort-merge on the shared attributes.
+
+        Sorts both inputs on the join key (charged), then merges runs of
+        equal keys.  Requires at least one shared attribute — with none, a
+        merge join degenerates to a cross product, which
+        :meth:`natural_join` handles.
+        """
+        shared = self.shared_attributes(other)
+        if not shared:
+            return self.natural_join(other, meter=meter)
+        self_idx = [self.index_of(a) for a in shared]
+        other_idx = [other.index_of(a) for a in shared]
+        meter.charge(len(self.tuples) + len(other.tuples), "merge-sort")
+        left_rows = sorted(
+            self.tuples, key=lambda row: tuple(row[i] for i in self_idx)
+        )
+        right_rows = sorted(
+            other.tuples, key=lambda row: tuple(row[i] for i in other_idx)
+        )
+        out_attrs = list(self.attributes) + [
+            a for a in other.attributes if a not in self._index
+        ]
+        other_rest_idx = [
+            i for i, a in enumerate(other.attributes) if a not in self._index
+        ]
+
+        out: List[Tuple[object, ...]] = []
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            left_key = tuple(left_rows[i][k] for k in self_idx)
+            right_key = tuple(right_rows[j][k] for k in other_idx)
+            meter.charge(1, "merge-advance")
+            if left_key < right_key:
+                i += 1
+            elif left_key > right_key:
+                j += 1
+            else:
+                # Collect the run of equal keys on both sides.
+                i_end = i
+                while i_end < len(left_rows) and tuple(
+                    left_rows[i_end][k] for k in self_idx
+                ) == left_key:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_rows) and tuple(
+                    right_rows[j_end][k] for k in other_idx
+                ) == right_key:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        meter.charge(1, "join-out")
+                        out.append(
+                            left_rows[li]
+                            + tuple(right_rows[rj][k] for k in other_rest_idx)
+                        )
+                i, j = i_end, j_end
+        name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
+        return Relation(out_attrs, out, name=name)
+
+    def semijoin(
+        self, other: "Relation", meter: WorkMeter = NULL_METER
+    ) -> "Relation":
+        """⋉ keep tuples of self that match ``other`` on shared attributes.
+
+        With no shared attributes, returns self unchanged when ``other`` is
+        non-empty and the empty relation otherwise (standard semantics).
+        """
+        shared = self.shared_attributes(other)
+        if not shared:
+            if len(other) == 0:
+                return Relation(self.attributes, [], name=self.name)
+            return self.copy()
+        other_idx = [other.index_of(a) for a in shared]
+        meter.charge(len(other.tuples), "semijoin-build")
+        keys = {tuple(row[i] for i in other_idx) for row in other.tuples}
+        self_idx = [self.index_of(a) for a in shared]
+        meter.charge(len(self.tuples), "semijoin-probe")
+        kept = [
+            row
+            for row in self.tuples
+            if tuple(row[i] for i in self_idx) in keys
+        ]
+        return Relation(self.attributes, kept, name=self.name)
+
+    def union(self, other: "Relation", meter: WorkMeter = NULL_METER) -> "Relation":
+        """Bag union; requires identical attribute sets (order-normalized)."""
+        if set(self.attributes) != set(other.attributes):
+            raise SchemaError(
+                "union requires identical attribute sets: "
+                f"{self.attributes} vs {other.attributes}"
+            )
+        reorder = [other.index_of(a) for a in self.attributes]
+        meter.charge(len(other.tuples), "union")
+        merged = list(self.tuples) + [
+            tuple(row[i] for i in reorder) for row in other.tuples
+        ]
+        return Relation(self.attributes, merged, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def group_aggregate(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        meter: WorkMeter = NULL_METER,
+    ) -> "Relation":
+        """γ group-by + aggregates.
+
+        Args:
+            group_by: grouping attributes (may be empty: single global group).
+            aggregates: ``(function, attribute, output_name)`` triples where
+                function ∈ {sum, count, min, max, avg} and attribute is
+                ``None`` for ``count(*)``.
+
+        Returns:
+            One row per group: group attributes then aggregate outputs.
+        """
+        group_idx = [self.index_of(a) for a in group_by]
+        agg_idx: List[Optional[int]] = []
+        for func, attribute, _out in aggregates:
+            if func not in ("sum", "count", "min", "max", "avg"):
+                raise SchemaError(f"unsupported aggregate function {func!r}")
+            agg_idx.append(None if attribute is None else self.index_of(attribute))
+
+        meter.charge(len(self.tuples), "aggregate")
+        groups: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
+        for row in self.tuples:
+            key = tuple(row[i] for i in group_idx)
+            groups.setdefault(key, []).append(row)
+        if not group_by and not groups:
+            groups[()] = []  # global aggregate over the empty relation
+
+        out_attrs = list(group_by) + [out for _f, _a, out in aggregates]
+        out_rows: List[Tuple[object, ...]] = []
+        for key in groups:
+            rows = groups[key]
+            values: List[object] = list(key)
+            for (func, _attribute, _out), idx in zip(aggregates, agg_idx):
+                column = [row[idx] for row in rows] if idx is not None else rows
+                values.append(_apply_aggregate(func, column, idx is not None))
+            out_rows.append(tuple(values))
+        return Relation(out_attrs, out_rows, name=self.name)
+
+
+def _numeric_sum(column: List[object]) -> object:
+    """Order-independent summation.
+
+    Different query plans enumerate a group's rows in different orders;
+    naive float addition is not associative, so two correct plans could
+    disagree in the last ulp.  ``math.fsum`` computes the correctly-rounded
+    sum regardless of order whenever any float is involved; pure-integer
+    columns keep exact integer arithmetic.
+    """
+    import math
+
+    if any(isinstance(value, float) for value in column):
+        return math.fsum(column)  # type: ignore[arg-type]
+    return sum(column)  # type: ignore[arg-type]
+
+
+def _apply_aggregate(func: str, column: List[object], has_attr: bool) -> object:
+    """Evaluate one aggregate over a materialized group column."""
+    if func == "count":
+        return len(column)
+    if not has_attr:
+        raise SchemaError(f"aggregate {func!r} requires an attribute")
+    if not column:
+        return None  # SQL: aggregates over empty groups are NULL
+    if func == "sum":
+        return _numeric_sum(column)
+    if func == "min":
+        return min(column)  # type: ignore[type-var]
+    if func == "max":
+        return max(column)  # type: ignore[type-var]
+    if func == "avg":
+        return _numeric_sum(column) / len(column)  # type: ignore[operator]
+    raise SchemaError(f"unsupported aggregate function {func!r}")  # pragma: no cover

@@ -1,0 +1,53 @@
+"""Benchmark workloads of §6 of the paper.
+
+* :mod:`repro.workloads.tpch` — a dbgen-equivalent generator for the
+  TPC-H schema (all eight tables, key relationships, realistic value
+  domains) with a ``size_mb`` knob mapped to scaled row counts;
+* :mod:`repro.workloads.tpch_queries` — Q5 and Q8 (plus extra TPC-H-style
+  queries) in the library's SQL subset;
+* :mod:`repro.workloads.synthetic` — the acyclic-line and chain query
+  families with cardinality and selectivity knobs, plus their uniform
+  random data generator.
+"""
+
+from repro.workloads.tpch import (
+    TPCH_SCHEMA,
+    generate_tpch_database,
+    tpch_row_counts,
+)
+from repro.workloads.tpch_queries import (
+    TPCH_QUERIES,
+    query_q3,
+    query_q5,
+    query_q7,
+    query_q8,
+    query_q9,
+    query_q10,
+)
+from repro.workloads.synthetic import (
+    StarConfig,
+    SyntheticConfig,
+    generate_star_database,
+    generate_synthetic_database,
+    star_query_sql,
+    synthetic_query_sql,
+)
+
+__all__ = [
+    "TPCH_SCHEMA",
+    "generate_tpch_database",
+    "tpch_row_counts",
+    "TPCH_QUERIES",
+    "query_q3",
+    "query_q5",
+    "query_q7",
+    "query_q8",
+    "query_q9",
+    "query_q10",
+    "StarConfig",
+    "SyntheticConfig",
+    "generate_star_database",
+    "generate_synthetic_database",
+    "star_query_sql",
+    "synthetic_query_sql",
+]

@@ -1,0 +1,333 @@
+"""TPC-H schema and a dbgen-equivalent scaled data generator.
+
+The paper evaluates on databases produced by TPC's ``dbgen`` tool at sizes
+200 MB–1000 MB.  This module reproduces the *schema* faithfully (all eight
+tables, the key relationships, the fixed region/nation hierarchy, realistic
+value domains for the columns the benchmark queries touch) and maps the
+paper's ``size_mb`` axis onto row counts scaled for an in-memory Python
+engine:
+
+    rows(table) = dbgen_rows(table, SF = size_mb / 1000) × scale_shrink
+
+With the default ``scale_shrink = 0.01`` a "1000 MB" database holds 60 000
+lineitem rows — small enough to run every figure in minutes, while the
+relative growth across the 200 → 1000 sweep (what Fig. 8 plots) is exactly
+dbgen's.
+
+Only columns irrelevant to any benchmark query (comments, addresses,
+phones) are omitted; everything the queries and the statistics layer need
+is present.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.relational.database import Database
+from repro.relational.schema import AttributeType, DatabaseSchema, RelationSchema
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+I = AttributeType.INT
+F = AttributeType.FLOAT
+S = AttributeType.STRING
+D = AttributeType.DATE
+
+TPCH_SCHEMA = DatabaseSchema(
+    [
+        RelationSchema.of(
+            "region",
+            [("r_regionkey", I), ("r_name", S)],
+            key=["r_regionkey"],
+        ),
+        RelationSchema.of(
+            "nation",
+            [("n_nationkey", I), ("n_name", S), ("n_regionkey", I)],
+            key=["n_nationkey"],
+        ),
+        RelationSchema.of(
+            "supplier",
+            [
+                ("s_suppkey", I),
+                ("s_name", S),
+                ("s_nationkey", I),
+                ("s_acctbal", F),
+            ],
+            key=["s_suppkey"],
+        ),
+        RelationSchema.of(
+            "customer",
+            [
+                ("c_custkey", I),
+                ("c_name", S),
+                ("c_nationkey", I),
+                ("c_acctbal", F),
+                ("c_mktsegment", S),
+            ],
+            key=["c_custkey"],
+        ),
+        RelationSchema.of(
+            "part",
+            [
+                ("p_partkey", I),
+                ("p_name", S),
+                ("p_mfgr", S),
+                ("p_brand", S),
+                ("p_type", S),
+                ("p_size", I),
+                ("p_retailprice", F),
+            ],
+            key=["p_partkey"],
+        ),
+        RelationSchema.of(
+            "partsupp",
+            [
+                ("ps_partkey", I),
+                ("ps_suppkey", I),
+                ("ps_availqty", I),
+                ("ps_supplycost", F),
+            ],
+            key=["ps_partkey", "ps_suppkey"],
+        ),
+        RelationSchema.of(
+            "orders",
+            [
+                ("o_orderkey", I),
+                ("o_custkey", I),
+                ("o_orderstatus", S),
+                ("o_totalprice", F),
+                ("o_orderdate", D),
+                ("o_orderpriority", S),
+            ],
+            key=["o_orderkey"],
+        ),
+        RelationSchema.of(
+            "lineitem",
+            [
+                ("l_orderkey", I),
+                ("l_partkey", I),
+                ("l_suppkey", I),
+                ("l_linenumber", I),
+                ("l_quantity", F),
+                ("l_extendedprice", F),
+                ("l_discount", F),
+                ("l_returnflag", S),
+                ("l_shipdate", D),
+            ],
+            key=["l_orderkey", "l_linenumber"],
+        ),
+    ]
+)
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+# (nation name, region index) — dbgen's fixed 25-nation table.
+NATIONS: Tuple[Tuple[str, int], ...] = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+PART_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy",
+    "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel",
+    "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+)
+MANUFACTURERS = tuple(f"Manufacturer#{i}" for i in range(1, 6))
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+
+# dbgen base row counts at scale factor 1.
+_DBGEN_SF1 = {
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+MIN_ORDER_DATE = "1992-01-01"
+MAX_ORDER_DATE = "1998-08-02"
+
+
+def tpch_row_counts(size_mb: float, scale_shrink: float = 0.01) -> Dict[str, int]:
+    """Row counts of the scaled database of a given nominal size.
+
+    region/nation have fixed sizes (5 and 25, as in dbgen); the other
+    tables scale linearly with ``size_mb``.
+    """
+    scale = max(size_mb, 1.0) / 1000.0 * scale_shrink
+    counts = {"region": len(REGIONS), "nation": len(NATIONS)}
+    for table, base in _DBGEN_SF1.items():
+        counts[table] = max(int(round(base * scale)), 10)
+    return counts
+
+
+def _random_date(rng: random.Random, lo: str = MIN_ORDER_DATE, hi: str = MAX_ORDER_DATE) -> str:
+    """Uniform ISO date in [lo, hi]."""
+    import datetime
+
+    lo_date = datetime.date.fromisoformat(lo)
+    hi_date = datetime.date.fromisoformat(hi)
+    span = (hi_date - lo_date).days
+    return (lo_date + datetime.timedelta(days=rng.randrange(span + 1))).isoformat()
+
+
+def generate_tpch_database(
+    size_mb: float = 100.0,
+    seed: int = 0,
+    scale_shrink: float = 0.01,
+    analyze: bool = False,
+) -> Database:
+    """Generate a scaled TPC-H database.
+
+    Args:
+        size_mb: nominal size on the paper's 200–1000 MB axis.
+        seed: RNG seed — identical seeds give identical databases.
+        scale_shrink: in-memory scale-down factor (see module docstring).
+        analyze: gather statistics after loading (equivalent to running
+            ANALYZE; costs a full scan, which the overhead experiment
+            measures separately).
+    """
+    rng = random.Random(seed)
+    counts = tpch_row_counts(size_mb, scale_shrink)
+    db = Database(f"tpch_{int(size_mb)}mb")
+
+    db.create_table(
+        TPCH_SCHEMA.relation("region"),
+        [(i, name) for i, name in enumerate(REGIONS)],
+    )
+    db.create_table(
+        TPCH_SCHEMA.relation("nation"),
+        [(i, name, region) for i, (name, region) in enumerate(NATIONS)],
+    )
+
+    n_supplier = counts["supplier"]
+    db.create_table(
+        TPCH_SCHEMA.relation("supplier"),
+        [
+            (
+                k,
+                f"Supplier#{k:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for k in range(1, n_supplier + 1)
+        ],
+    )
+
+    n_customer = counts["customer"]
+    db.create_table(
+        TPCH_SCHEMA.relation("customer"),
+        [
+            (
+                k,
+                f"Customer#{k:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+            )
+            for k in range(1, n_customer + 1)
+        ],
+    )
+
+    n_part = counts["part"]
+    db.create_table(
+        TPCH_SCHEMA.relation("part"),
+        [
+            (
+                k,
+                " ".join(rng.sample(PART_NAME_WORDS, 5)),
+                rng.choice(MANUFACTURERS),
+                rng.choice(BRANDS),
+                " ".join(
+                    (
+                        rng.choice(TYPE_SYLLABLE_1),
+                        rng.choice(TYPE_SYLLABLE_2),
+                        rng.choice(TYPE_SYLLABLE_3),
+                    )
+                ),
+                rng.randrange(1, 51),
+                round(900 + k % 1000 + rng.uniform(0, 100), 2),
+            )
+            for k in range(1, n_part + 1)
+        ],
+    )
+
+    n_partsupp = counts["partsupp"]
+    partsupp_rows: List[Tuple[object, ...]] = []
+    seen_ps = set()
+    while len(partsupp_rows) < n_partsupp:
+        pk = rng.randrange(1, n_part + 1)
+        sk = rng.randrange(1, n_supplier + 1)
+        if (pk, sk) in seen_ps:
+            continue
+        seen_ps.add((pk, sk))
+        partsupp_rows.append(
+            (pk, sk, rng.randrange(1, 10_000), round(rng.uniform(1.0, 1000.0), 2))
+        )
+    db.create_table(TPCH_SCHEMA.relation("partsupp"), partsupp_rows)
+
+    n_orders = counts["orders"]
+    db.create_table(
+        TPCH_SCHEMA.relation("orders"),
+        [
+            (
+                k,
+                rng.randrange(1, n_customer + 1),
+                rng.choice("OFP"),
+                round(rng.uniform(1000.0, 500_000.0), 2),
+                _random_date(rng),
+                rng.choice(PRIORITIES),
+            )
+            for k in range(1, n_orders + 1)
+        ],
+    )
+
+    n_lineitem = counts["lineitem"]
+    lineitem_rows: List[Tuple[object, ...]] = []
+    line_number: Dict[int, int] = {}
+    for _ in range(n_lineitem):
+        ok = rng.randrange(1, n_orders + 1)
+        line_number[ok] = line_number.get(ok, 0) + 1
+        quantity = float(rng.randrange(1, 51))
+        extended = round(quantity * rng.uniform(900.0, 2000.0), 2)
+        lineitem_rows.append(
+            (
+                ok,
+                rng.randrange(1, n_part + 1),
+                rng.randrange(1, n_supplier + 1),
+                line_number[ok],
+                quantity,
+                extended,
+                round(rng.choice([0.0, 0.01, 0.02, 0.04, 0.05, 0.06, 0.08, 0.1]), 2),
+                rng.choice("ARN"),
+                _random_date(rng),
+            )
+        )
+    db.create_table(TPCH_SCHEMA.relation("lineitem"), lineitem_rows)
+
+    if analyze:
+        db.analyze()
+    return db

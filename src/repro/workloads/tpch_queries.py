@@ -1,0 +1,166 @@
+"""TPC-H benchmark queries in the library's SQL subset.
+
+Q5 is verbatim from the paper's introduction (modulo parameter values).
+Q8's official text wraps the 8-relation join core in a derived table with a
+CASE expression; the library's conjunctive subset has neither, so
+:func:`query_q8` keeps the *join core* — the 8-way cyclic join (hypertree
+width 2, nation referenced twice) whose structure is what the paper's
+Fig. 8(b) measures — and aggregates revenue by supplier nation.  Q3 and Q10
+(both acyclic) are included as additional workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+def query_q5(region: str = "ASIA", date_from: str = "1994-01-01") -> str:
+    """TPC-H Q5 — local supplier volume (hypertree width 2)."""
+    return f"""
+    SELECT n_name,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM customer, orders, lineitem, supplier, nation, region
+    WHERE c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND l_suppkey = s_suppkey
+      AND c_nationkey = s_nationkey
+      AND s_nationkey = n_nationkey
+      AND n_regionkey = r_regionkey
+      AND r_name = '{region}'
+      AND o_orderdate >= date '{date_from}'
+      AND o_orderdate < date '{date_from}' + interval '1' year
+    GROUP BY n_name
+    ORDER BY revenue DESC
+    """
+
+
+def query_q8(
+    region: str = "AMERICA",
+    part_type: str = "ECONOMY ANODIZED STEEL",
+    date_from: str = "1995-01-01",
+    date_to: str = "1996-12-31",
+) -> str:
+    """TPC-H Q8 join core — national market share (hypertree width 2).
+
+    Eight relations with nation referenced twice (customer side and
+    supplier side); the official CASE/derived-table shell is replaced by a
+    GROUP BY over the supplier nation (see module docstring).
+    """
+    return f"""
+    SELECT n2.n_name,
+           sum(l_extendedprice * (1 - l_discount)) AS volume
+    FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+    WHERE p_partkey = l_partkey
+      AND s_suppkey = l_suppkey
+      AND l_orderkey = o_orderkey
+      AND o_custkey = c_custkey
+      AND c_nationkey = n1.n_nationkey
+      AND n1.n_regionkey = r_regionkey
+      AND r_name = '{region}'
+      AND s_nationkey = n2.n_nationkey
+      AND o_orderdate BETWEEN date '{date_from}' AND date '{date_to}'
+      AND p_type = '{part_type}'
+    GROUP BY n2.n_name
+    ORDER BY volume DESC
+    """
+
+
+def query_q3(segment: str = "BUILDING", date: str = "1995-03-15") -> str:
+    """TPC-H Q3 — shipping priority (acyclic, 3 relations)."""
+    return f"""
+    SELECT l_orderkey,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           o_orderdate
+    FROM customer, orders, lineitem
+    WHERE c_mktsegment = '{segment}'
+      AND c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate < date '{date}'
+      AND l_shipdate > date '{date}'
+    GROUP BY l_orderkey, o_orderdate
+    ORDER BY revenue DESC
+    LIMIT 10
+    """
+
+
+def query_q10(date_from: str = "1993-10-01") -> str:
+    """TPC-H Q10 — returned item reporting (acyclic, 4 relations)."""
+    return f"""
+    SELECT c_custkey, c_name,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           n_name
+    FROM customer, orders, lineitem, nation
+    WHERE c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate >= date '{date_from}'
+      AND o_orderdate < date '{date_from}' + interval '3' month
+      AND l_returnflag = 'R'
+      AND c_nationkey = n_nationkey
+    GROUP BY c_custkey, c_name, n_name
+    ORDER BY revenue DESC
+    LIMIT 20
+    """
+
+
+def query_q7(
+    nation1: str = "FRANCE",
+    nation2: str = "GERMANY",
+    date_from: str = "1995-01-01",
+    date_to: str = "1996-12-31",
+) -> str:
+    """TPC-H Q7 join core — volume shipping (nation referenced twice).
+
+    The official query filters on a disjunction of the two nation pairings;
+    the conjunctive subset keeps one direction (supplier nation = nation1,
+    customer nation = nation2), which preserves the 6-relation join shape
+    with the double nation reference.
+    """
+    return f"""
+    SELECT n1.n_name, n2.n_name,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM supplier, lineitem, orders, customer, nation n1, nation n2
+    WHERE s_suppkey = l_suppkey
+      AND o_orderkey = l_orderkey
+      AND c_custkey = o_custkey
+      AND s_nationkey = n1.n_nationkey
+      AND c_nationkey = n2.n_nationkey
+      AND n1.n_name = '{nation1}'
+      AND n2.n_name = '{nation2}'
+      AND l_shipdate BETWEEN date '{date_from}' AND date '{date_to}'
+    GROUP BY n1.n_name, n2.n_name
+    ORDER BY revenue DESC
+    """
+
+
+def query_q9(color: str = "green") -> str:
+    """TPC-H Q9 join core — product-type profit.
+
+    The official query aggregates profit (revenue − supply cost) per nation
+    over a 6-relation join including partsupp, whose (partkey, suppkey)
+    pair links twice into lineitem; the official ``p_name LIKE '%color%'``
+    filter is kept verbatim.
+    """
+    return f"""
+    SELECT n_name,
+           sum(l_extendedprice * (1 - l_discount)) AS profit
+    FROM part, supplier, lineitem, partsupp, orders, nation
+    WHERE s_suppkey = l_suppkey
+      AND ps_suppkey = l_suppkey
+      AND ps_partkey = l_partkey
+      AND p_partkey = l_partkey
+      AND o_orderkey = l_orderkey
+      AND s_nationkey = n_nationkey
+      AND p_name LIKE '%{color}%'
+    GROUP BY n_name
+    ORDER BY profit DESC
+    """
+
+
+TPCH_QUERIES: Dict[str, Callable[..., str]] = {
+    "q3": query_q3,
+    "q5": query_q5,
+    "q7": query_q7,
+    "q8": query_q8,
+    "q9": query_q9,
+    "q10": query_q10,
+}

@@ -1,0 +1,125 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple
+
+import pytest
+
+# Allow running the tests without installing the package.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery, Constant
+from repro.relational import AttributeType, Database, Relation, RelationSchema
+
+
+# ---------------------------------------------------------------------------
+# Brute-force reference evaluation (used to validate every evaluator)
+# ---------------------------------------------------------------------------
+
+
+def brute_force_answer(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation]
+) -> Relation:
+    """All answers of a conjunctive query by naive backtracking join.
+
+    ``relations`` maps atom name → a relation whose attributes are the
+    atom's variables (the :func:`repro.engine.scans.atom_relations` shape).
+    Output is the distinct projection onto the query head.
+    """
+    bindings: List[Dict[str, object]] = [{}]
+    for atom in query.atoms:
+        relation = relations[atom.name]
+        new_bindings: List[Dict[str, object]] = []
+        for binding in bindings:
+            for row in relation.tuples:
+                candidate = dict(binding)
+                ok = True
+                for variable, value in zip(relation.attributes, row):
+                    if variable in candidate and candidate[variable] != value:
+                        ok = False
+                        break
+                    candidate[variable] = value
+                if ok:
+                    new_bindings.append(candidate)
+        bindings = new_bindings
+        if not bindings:
+            break
+    seen = set()
+    out_rows: List[Tuple[object, ...]] = []
+    for binding in bindings:
+        row = tuple(binding[v] for v in query.output)
+        if row not in seen:
+            seen.add(row)
+            out_rows.append(row)
+    return Relation(query.output, out_rows)
+
+
+def random_database_for(
+    query: ConjunctiveQuery,
+    rng: random.Random,
+    max_rows: int = 12,
+    values: int = 4,
+) -> Database:
+    """A random database matching a conjunctive query's positional atoms."""
+    db = Database("random")
+    for atom in query.atoms:
+        if atom.relation in db:
+            continue
+        arity = len(atom.terms)
+        schema = RelationSchema.of(
+            atom.relation,
+            [(f"c{i}", AttributeType.INT) for i in range(arity)],
+        )
+        rows = [
+            tuple(rng.randrange(values) for _ in range(arity))
+            for _ in range(rng.randrange(1, max_rows + 1))
+        ]
+        db.create_table(schema, rows)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    """A very small TPC-H database with statistics, shared by tests."""
+    from repro.workloads.tpch import generate_tpch_database
+
+    return generate_tpch_database(size_mb=50, seed=42, analyze=True)
+
+
+@pytest.fixture()
+def chain_db():
+    """Four binary relations forming a cyclic chain, with statistics."""
+    rng = random.Random(0)
+    db = Database("chain4")
+    for i in range(4):
+        schema = RelationSchema.of(
+            f"r{i}", {f"a{i}": AttributeType.INT, f"b{i}": AttributeType.INT}
+        )
+        db.create_table(
+            schema, [(rng.randrange(8), rng.randrange(8)) for _ in range(40)]
+        )
+    db.analyze()
+    return db
+
+
+CHAIN_SQL = """
+SELECT r0.a0, r2.a2 FROM r0, r1, r2, r3
+WHERE r0.b0 = r1.a1 AND r1.b1 = r2.a2 AND r2.b2 = r3.a3 AND r3.b3 = r0.a0
+"""
+
+
+@pytest.fixture()
+def chain_sql():
+    return CHAIN_SQL

@@ -1,0 +1,115 @@
+"""Tests for biconnected components, validated against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph import Hypergraph, cycle_hypergraph, line_hypergraph
+from repro.hypergraph.algorithms import primal_graph
+from repro.hypergraph.biconnected import (
+    biconnected_components,
+    biconnected_width,
+    block_cut_tree,
+    primal_biconnected_components,
+)
+
+
+def to_adjacency(graph: nx.Graph):
+    return {v: set(graph.neighbors(v)) for v in graph.nodes}
+
+
+def normalize(blocks):
+    return sorted(tuple(sorted(b)) for b in blocks if len(b) > 1)
+
+
+class TestAgainstNetworkx:
+    def check(self, graph: nx.Graph):
+        ours, our_arts = biconnected_components(to_adjacency(graph))
+        theirs = [frozenset(c) for c in nx.biconnected_components(graph)]
+        assert normalize(ours) == normalize(theirs)
+        assert set(our_arts) == set(nx.articulation_points(graph))
+
+    def test_path(self):
+        self.check(nx.path_graph(6))
+
+    def test_cycle(self):
+        self.check(nx.cycle_graph(5))
+
+    def test_two_triangles_sharing_a_vertex(self):
+        graph = nx.Graph(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e"), ("e", "c")]
+        )
+        self.check(graph)
+
+    def test_star(self):
+        self.check(nx.star_graph(5))
+
+    def test_complete(self):
+        self.check(nx.complete_graph(6))
+
+    def test_barbell(self):
+        self.check(nx.barbell_graph(4, 2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        p=st.floats(min_value=0.1, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_graphs(self, n, p, seed):
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        graph = nx.relabel_nodes(graph, {i: f"v{i}" for i in graph.nodes})
+        if graph.number_of_edges() == 0:
+            return
+        self.check(graph)
+
+
+class TestHypergraphLevel:
+    def test_acyclic_line_blocks_are_edges(self):
+        hg = line_hypergraph(5, private=0)
+        width = biconnected_width(hg)
+        assert width == 2  # binary shared links only
+
+    def test_cycle_is_one_big_block(self):
+        hg = cycle_hypergraph(6, private=0)
+        components, _ = primal_biconnected_components(hg)
+        assert max(len(c) for c in components) == 6
+        assert biconnected_width(hg) == 6
+
+    def test_hypertree_width_beats_biconnected_width(self):
+        # The motivating gap: hw(cycle) = 2 but Freuder's bound grows with n.
+        from repro.core.detkdecomp import hypertree_width
+
+        for n in (4, 6, 8):
+            hg = cycle_hypergraph(n, private=0)
+            assert hypertree_width(hg) == 2
+            assert biconnected_width(hg) == n
+
+    def test_empty_hypergraph(self):
+        assert biconnected_width(Hypergraph()) == 0
+
+    def test_isolated_vertices_singleton_blocks(self):
+        adjacency = {"a": set(), "b": {"c"}, "c": {"b"}}
+        components, arts = biconnected_components(adjacency)
+        assert frozenset({"a"}) in components
+        assert not arts
+
+    def test_block_cut_tree_is_forest(self):
+        hg = Hypergraph.from_dict(
+            {
+                "t1": ["A", "B"],
+                "t2": ["B", "C"],
+                "t3": ["C", "A"],  # triangle block
+                "t4": ["C", "D"],
+                "t5": ["D", "E"],
+                "t6": ["E", "C"],  # second triangle sharing C
+            }
+        )
+        tree = block_cut_tree(hg)
+        n_blocks = len(tree)
+        n_edges = sum(len(neigh) for neigh in tree.values()) // 2
+        assert n_edges <= n_blocks - 1  # forest property
+        assert n_blocks == 2
+        assert n_edges == 1

@@ -1,0 +1,83 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["decompose", "q5"],
+            ["run", "q5"],
+            ["explain", "q5"],
+            ["experiment", "fig10"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_decompose_q5(self, capsys):
+        assert main(["decompose", "q5", "--size-mb", "50", "--width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Conjunctive query" in out
+        assert "λ=" in out
+
+    def test_decompose_with_views(self, capsys):
+        assert main(
+            ["decompose", "q5", "--size-mb", "50", "--width", "3", "--views"]
+        ) == 0
+        assert "CREATE VIEW" in capsys.readouterr().out
+
+    def test_decompose_inline_sql(self, capsys):
+        sql = (
+            "SELECT n_name FROM nation, region "
+            "WHERE n_regionkey = r_regionkey AND r_name = 'ASIA'"
+        )
+        assert main(["decompose", sql, "--size-mb", "50"]) == 0
+        assert "λ=" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "q5", "--size-mb", "50", "--width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "HashJoin" in out
+        assert "λ=" in out
+
+    def test_run_compares_systems(self, capsys):
+        assert main(["run", "q5", "--size-mb", "50", "--width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "commdb+stats" in out
+        assert "q-hd" in out
+        assert "answers agree: True" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "q5", "--size-mb", "50", "--width", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hypertree width:     2" in out
+        assert "acyclic:             False" in out
+        assert "biconnected width" in out
+
+    def test_decompose_dot_output(self, capsys):
+        assert main(
+            ["decompose", "q5", "--size-mb", "50", "--width", "3", "--dot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'graph "H"' in out
+        assert 'digraph "HD"' in out
+
+    def test_experiment_overhead(self, capsys):
+        assert main(
+            ["experiment", "overhead", "--metric", "elapsed_seconds"]
+        ) == 0
+        assert "analyze" in capsys.readouterr().out

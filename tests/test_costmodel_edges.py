@@ -1,0 +1,95 @@
+"""Edge-case tests for the decomposition cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costmodel import (
+    AtomEstimate,
+    DecompositionCostModel,
+    JoinEstimate,
+)
+from repro.query.builder import ConjunctiveQueryBuilder
+
+positive = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+
+
+class TestAtomEstimate:
+    def test_distinct_capped_by_cardinality(self):
+        est = AtomEstimate(cardinality=10, distinct={"X": 500})
+        assert est.distinct_of("X") == 10
+
+    def test_distinct_floor_is_one(self):
+        est = AtomEstimate(cardinality=10, distinct={"X": 0.0})
+        assert est.distinct_of("X") == 1.0
+
+    def test_unknown_variable_defaults(self):
+        est = AtomEstimate(cardinality=1000, distinct={})
+        assert est.distinct_of("zzz") > 0
+
+
+class TestJoinMath:
+    @settings(max_examples=60, deadline=None)
+    @given(l_card=positive, r_card=positive, l_d=positive, r_d=positive)
+    def test_join_size_bounded_by_cross_product(self, l_card, r_card, l_d, r_d):
+        left = JoinEstimate(l_card, {"X": min(l_d, l_card)})
+        right = JoinEstimate(r_card, {"X": min(r_d, r_card)})
+        joined = DecompositionCostModel.join(left, right, ["X"])
+        assert joined.cardinality <= l_card * r_card + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(card=positive, d=positive)
+    def test_join_symmetric(self, card, d):
+        a = JoinEstimate(card, {"X": min(d, card)})
+        b = JoinEstimate(card * 2, {"X": min(d * 3, card * 2)})
+        ab = DecompositionCostModel.join(a, b, ["X"])
+        ba = DecompositionCostModel.join(b, a, ["X"])
+        assert ab.cardinality == pytest.approx(ba.cardinality)
+
+    def test_multi_variable_join_divides_per_variable(self):
+        a = JoinEstimate(100, {"X": 10, "Y": 5})
+        b = JoinEstimate(100, {"X": 10, "Y": 5})
+        joined = DecompositionCostModel.join(a, b, ["X", "Y"])
+        assert joined.cardinality == pytest.approx(100 * 100 / (10 * 5))
+
+    def test_projection_never_grows(self):
+        est = JoinEstimate(500, {"X": 100, "Y": 3})
+        model = DecompositionCostModel({})
+        projected = model.project(est, ["Y"])
+        assert projected.cardinality <= est.cardinality
+        assert projected.cardinality <= 3 + 1e-9
+
+    def test_projection_to_nothing(self):
+        est = JoinEstimate(500, {"X": 100})
+        model = DecompositionCostModel({})
+        projected = model.project(est, [])
+        assert projected.cardinality >= 1.0
+
+
+class TestNodeEstimate:
+    def test_node_estimate_matches_manual_fold(self):
+        q = (
+            ConjunctiveQueryBuilder()
+            .atom("a", "ra", "X", "Y")
+            .atom("b", "rb", "Y", "Z")
+            .output("X")
+            .build()
+        )
+        model = DecompositionCostModel(
+            {
+                "a": AtomEstimate(100, {"X": 10, "Y": 20}),
+                "b": AtomEstimate(50, {"Y": 25, "Z": 5}),
+            }
+        )
+        atom_vars = {atom.name: atom.variables for atom in q.atoms}
+        estimate, cost = model.node_estimate(
+            ["a", "b"], atom_vars, frozenset({"X", "Y", "Z"})
+        )
+        # 100·50 / max(20, 25) = 200 joined rows.
+        assert estimate.cardinality == pytest.approx(200)
+        assert cost > 0
+
+    def test_stitch_reduces_to_chi(self):
+        parent = JoinEstimate(100, {"X": 10, "Y": 10})
+        child = JoinEstimate(50, {"Y": 10, "Z": 5})
+        stitched = DecompositionCostModel.stitch(parent, child, frozenset({"X", "Y"}))
+        assert "Z" not in stitched.distinct

@@ -1,0 +1,127 @@
+"""Tests for det-k-decomp and hypertree width."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecompositionError
+from repro.hypergraph import (
+    Hypergraph,
+    clique_hypergraph,
+    cycle_hypergraph,
+    grid_hypergraph,
+    line_hypergraph,
+    random_hypergraph,
+)
+from repro.core.detkdecomp import det_k_decomp, hypertree_width
+
+
+class TestKnownWidths:
+    def test_acyclic_line_width_1(self):
+        assert hypertree_width(line_hypergraph(6)) == 1
+
+    def test_single_edge_width_1(self):
+        assert hypertree_width(Hypergraph.from_dict({"a": ["X", "Y"]})) == 1
+
+    def test_cycle_width_2(self):
+        for n in (3, 4, 6, 8):
+            assert hypertree_width(cycle_hypergraph(n)) == 2
+
+    def test_clique_widths(self):
+        # hw(K_n) = ⌈n/2⌉ for binary-edge cliques.
+        assert hypertree_width(clique_hypergraph(4)) == 2
+        assert hypertree_width(clique_hypergraph(5)) == 3
+
+    def test_grid_2xn_width_2(self):
+        assert hypertree_width(grid_hypergraph(2, 4)) == 2
+
+    def test_paper_example_2_width_2(self):
+        # Q0 from Example 2 of the paper has hypertree width exactly 2.
+        q0 = Hypergraph.from_dict(
+            {
+                "a": ["S", "X", "Xp", "C", "F"],
+                "b": ["S", "Y", "Yp", "Cp", "Fp"],
+                "c": ["C", "Cp", "Z"],
+                "d": ["X", "Z"],
+                "e": ["Y", "Z"],
+                "f": ["F", "Fp", "Zp"],
+                "g": ["Xp", "Zp"],
+                "h": ["Yp", "Zp"],
+                "j": ["J", "X", "Y", "Xp", "Yp"],
+            }
+        )
+        assert hypertree_width(q0) == 2
+
+    def test_empty_hypergraph_width_0(self):
+        assert hypertree_width(Hypergraph()) == 0
+
+    def test_width_bound_exceeded(self):
+        with pytest.raises(DecompositionError):
+            hypertree_width(clique_hypergraph(7), max_k=2)
+
+
+class TestDecomposition:
+    def test_failure_below_width(self):
+        assert det_k_decomp(cycle_hypergraph(5), 1) is None
+
+    def test_produces_valid_hd(self):
+        tree = det_k_decomp(cycle_hypergraph(6), 2)
+        assert tree is not None
+        assert tree.width <= 2
+        assert tree.is_hypertree_decomposition()
+
+    def test_invalid_k(self):
+        with pytest.raises(DecompositionError):
+            det_k_decomp(line_hypergraph(3), 0)
+
+    def test_root_cover_satisfied(self):
+        hg = cycle_hypergraph(6)
+        cover = set(hg.edge("p0").vertices)
+        tree = det_k_decomp(hg, 2, required_root_cover=cover)
+        assert tree is not None
+        assert cover <= tree.root.chi
+        assert tree.is_hypertree_decomposition()
+
+    def test_root_cover_can_force_failure(self):
+        # Covering all variables of a long line needs many edges at once.
+        hg = line_hypergraph(8)
+        tree = det_k_decomp(hg, 2, required_root_cover=hg.vertices)
+        assert tree is None
+
+    def test_root_cover_unknown_variable(self):
+        with pytest.raises(DecompositionError):
+            det_k_decomp(line_hypergraph(3), 2, required_root_cover={"ZZZ"})
+
+    def test_root_cover_spanning_distant_atoms(self):
+        hg = line_hypergraph(6)
+        cover = {"S0_0", "S4_0"}  # endpoints-ish variables
+        tree = det_k_decomp(hg, 2, required_root_cover=cover)
+        assert tree is not None
+        assert cover <= tree.root.chi
+
+    def test_empty_hypergraph_with_cover(self):
+        tree = det_k_decomp(Hypergraph(), 2)
+        assert tree is not None
+        assert len(tree) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_vertices=st.integers(min_value=2, max_value=8),
+    n_edges=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_random_hypergraphs_decompose_validly(n_vertices, n_edges, seed):
+    """Any width-≤4 decomposition found must satisfy all HD conditions."""
+    hg = random_hypergraph(n_vertices, n_edges, max_arity=3, seed=seed)
+    tree = det_k_decomp(hg, 4)
+    if tree is not None:
+        assert tree.width <= 4
+        assert tree.is_hypertree_decomposition()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=3, max_value=9))
+def test_cycles_decompose_at_2_not_1(n):
+    assert det_k_decomp(cycle_hypergraph(n), 1) is None
+    tree = det_k_decomp(cycle_hypergraph(n), 2)
+    assert tree is not None and tree.is_hypertree_decomposition()

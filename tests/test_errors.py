@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DecompositionError,
+    DecompositionNotFound,
+    ExecutionError,
+    HypergraphError,
+    OptimizationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SqlSyntaxError,
+    WorkBudgetExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            HypergraphError,
+            QueryError,
+            SqlSyntaxError,
+            SchemaError,
+            ExecutionError,
+            WorkBudgetExceeded,
+            DecompositionError,
+            DecompositionNotFound,
+            OptimizationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        if exc_type is WorkBudgetExceeded:
+            instance = exc_type(10, 11)
+        elif exc_type is DecompositionNotFound:
+            instance = exc_type("msg", width=2)
+        else:
+            instance = exc_type("msg")
+        assert isinstance(instance, ReproError)
+
+    def test_sql_syntax_error_position(self):
+        err = SqlSyntaxError("bad", position=17)
+        assert err.position == 17
+        assert SqlSyntaxError("bad").position is None
+
+    def test_work_budget_carries_amounts(self):
+        err = WorkBudgetExceeded(100, 150)
+        assert err.budget == 100
+        assert err.spent == 150
+        assert "150" in str(err)
+
+    def test_decomposition_not_found_width(self):
+        err = DecompositionNotFound("no dice", width=3)
+        assert err.width == 3
+        assert isinstance(err, DecompositionError)
+
+    def test_single_catch_all(self):
+        # An embedding caller can catch the whole library with one clause.
+        with pytest.raises(ReproError):
+            raise SchemaError("x")

@@ -1,0 +1,212 @@
+"""Tests for Yannakakis and the q-hypertree evaluator.
+
+The reference point throughout is the brute-force backtracking evaluator
+in ``conftest.py``: every decomposition-based evaluator must compute
+exactly the same (set-semantics) answers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypergraphError
+from repro.metering import SpillModel, WorkMeter
+from repro.query.builder import ConjunctiveQueryBuilder
+from repro.core.detkdecomp import det_k_decomp
+from repro.core.evaluator import (
+    QHDEvaluator,
+    atom_relations,
+    evaluate_hd_classic,
+    evaluate_qhd,
+    yannakakis_acyclic,
+    yannakakis_boolean,
+)
+from repro.core.qhd import assign_atoms, procedure_optimize, q_hypertree_decomp
+
+from tests.conftest import brute_force_answer, random_database_for
+
+
+def line_query(n, output=("V0",)):
+    builder = ConjunctiveQueryBuilder("line")
+    for i in range(n):
+        builder.atom(f"p{i}", f"rel{i}", f"V{i}", f"V{i + 1}")
+    return builder.output(*output).build()
+
+
+def chain_query(n, output=("V0", "V1")):
+    builder = ConjunctiveQueryBuilder("chain")
+    for i in range(n):
+        builder.atom(f"p{i}", f"rel{i}", f"V{i}", f"V{(i + 1) % n}")
+    return builder.output(*output).build()
+
+
+def relations_for(query, seed=0, rows=10, values=4):
+    rng = random.Random(seed)
+    db = random_database_for(query, rng, max_rows=rows, values=values)
+    return atom_relations(query, db)
+
+
+class TestYannakakisBoolean:
+    def test_satisfiable_line(self):
+        q = line_query(4, output=())
+        rels = relations_for(q, seed=1)
+        expected = len(brute_force_answer(q.with_output(["V0"]), rels)) > 0
+        assert yannakakis_boolean(q, rels) == expected
+
+    def test_unsatisfiable(self):
+        q = line_query(2, output=())
+        rels = relations_for(q, seed=1)
+        # Make the middle variable never match.
+        from repro.relational import Relation
+
+        rels["p1"] = Relation(["V1", "V2"], [(99, 99)])
+        assert not yannakakis_boolean(q, rels)
+
+    def test_cyclic_raises(self):
+        q = chain_query(4, output=())
+        rels = relations_for(q)
+        with pytest.raises(HypergraphError):
+            yannakakis_boolean(q, rels)
+
+
+class TestYannakakisFull:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force(self, seed):
+        q = line_query(4, output=("V0", "V2", "V4"))
+        rels = relations_for(q, seed=seed)
+        expected = brute_force_answer(q, rels)
+        got = yannakakis_acyclic(q, rels)
+        assert got.same_content(expected)
+
+    def test_work_is_bounded(self):
+        # Yannakakis should never blow past input+output polynomial size.
+        q = line_query(6, output=("V0",))
+        rels = relations_for(q, seed=7, rows=30, values=3)
+        meter = WorkMeter()
+        yannakakis_acyclic(q, rels, meter=meter)
+        total_input = sum(len(r) for r in rels.values())
+        assert meter.total < 100 * total_input
+
+    def test_empty_answer(self):
+        q = line_query(3, output=("V0",))
+        rels = relations_for(q, seed=2)
+        from repro.relational import Relation
+
+        rels["p1"] = Relation(["V1", "V2"], [])
+        got = yannakakis_acyclic(q, rels)
+        assert len(got) == 0
+
+
+class TestQHDEvaluator:
+    @pytest.mark.parametrize("seed", list(range(8)))
+    def test_chain_matches_brute_force(self, seed):
+        q = chain_query(5)
+        rels = relations_for(q, seed=seed)
+        tree = q_hypertree_decomp(q, 2)
+        got = evaluate_qhd(tree, q, rels)
+        expected = brute_force_answer(q, rels)
+        assert got.same_content(expected)
+
+    @pytest.mark.parametrize("seed", list(range(5)))
+    def test_line_with_span_output(self, seed):
+        q = line_query(5, output=("V0", "V5"))
+        rels = relations_for(q, seed=seed)
+        tree = q_hypertree_decomp(q, 2)
+        got = evaluate_qhd(tree, q, rels)
+        assert got.same_content(brute_force_answer(q, rels))
+
+    def test_optimized_tree_same_answers(self):
+        q = chain_query(6)
+        rels = relations_for(q, seed=3, rows=15)
+        tree = det_k_decomp(q.hypergraph(), 2, required_root_cover=q.output_variables)
+        assign_atoms(tree, q)
+        plain = evaluate_qhd(tree.clone(), q, rels)
+        procedure_optimize(tree)
+        optimized = evaluate_qhd(tree, q, rels)
+        assert plain.same_content(optimized)
+
+    def test_optimize_saves_work(self):
+        q = chain_query(8)
+        rels = relations_for(q, seed=3, rows=60, values=6)
+        tree = det_k_decomp(q.hypergraph(), 2, required_root_cover=q.output_variables)
+        assign_atoms(tree, q)
+        baseline = tree.clone()
+        procedure_optimize(tree)
+        m1, m2 = WorkMeter(), WorkMeter()
+        evaluate_qhd(tree, q, rels, meter=m1)
+        evaluate_qhd(baseline, q, rels, meter=m2)
+        assert m1.total <= m2.total
+
+    def test_spill_model_charges(self):
+        q = chain_query(5)
+        rels = relations_for(q, seed=0, rows=40, values=3)
+        tree = q_hypertree_decomp(q, 2)
+        meter = WorkMeter()
+        evaluate_qhd(tree, q, rels, meter=meter, spill=SpillModel(1, 5.0))
+        assert meter.by_category.get("spill", 0) > 0
+
+    def test_output_ordering_matches_head(self):
+        q = chain_query(4, output=("V1", "V0"))
+        rels = relations_for(q, seed=5)
+        tree = q_hypertree_decomp(q, 2)
+        got = evaluate_qhd(tree, q, rels)
+        assert got.attributes == ("V1", "V0")
+
+    def test_trace_available(self):
+        q = chain_query(4)
+        rels = relations_for(q, seed=0)
+        tree = q_hypertree_decomp(q, 2)
+        evaluator = QHDEvaluator(tree, q, WorkMeter())
+        evaluator.evaluate(rels)
+        assert evaluator.trace()
+
+
+class TestClassicHD:
+    @pytest.mark.parametrize("seed", list(range(5)))
+    def test_matches_brute_force(self, seed):
+        q = chain_query(5)
+        rels = relations_for(q, seed=seed)
+        tree = q_hypertree_decomp(q, 2)
+        got = evaluate_hd_classic(tree, q, rels)
+        assert got.same_content(brute_force_answer(q, rels))
+
+    def test_matches_qhd_evaluator(self):
+        q = chain_query(6)
+        rels = relations_for(q, seed=11, rows=20)
+        tree = q_hypertree_decomp(q, 2)
+        classic = evaluate_hd_classic(tree, q, rels)
+        single_pass = evaluate_qhd(tree, q, rels)
+        assert classic.same_content(single_pass)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    values=st.integers(min_value=2, max_value=5),
+)
+def test_property_qhd_equals_brute_force_on_chains(n, seed, values):
+    """The crown-jewel property: for random chain data, the q-hypertree
+    evaluator computes exactly the brute-force answers."""
+    q = chain_query(n)
+    rng = random.Random(seed)
+    db = random_database_for(q, rng, max_rows=10, values=values)
+    rels = atom_relations(q, db)
+    tree = q_hypertree_decomp(q, 2)
+    got = evaluate_qhd(tree, q, rels)
+    assert got.same_content(brute_force_answer(q, rels))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_yannakakis_equals_brute_force_on_lines(n, seed):
+    q = line_query(n, output=("V0", f"V{n}"))
+    rng = random.Random(seed)
+    db = random_database_for(q, rng, max_rows=10, values=4)
+    rels = atom_relations(q, db)
+    got = yannakakis_acyclic(q, rels)
+    assert got.same_content(brute_force_answer(q, rels))

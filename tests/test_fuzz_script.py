@@ -1,0 +1,18 @@
+"""Smoke test for the differential fuzzer script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "fuzz_differential.py"
+
+
+def test_fuzzer_runs_clean():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--iterations", "15", "--seed", "3"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no disagreements" in result.stdout

@@ -1,0 +1,104 @@
+"""Tests for the hypergraph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypergraphError
+from repro.hypergraph import (
+    clique_hypergraph,
+    cycle_hypergraph,
+    grid_hypergraph,
+    is_acyclic,
+    line_hypergraph,
+    random_hypergraph,
+)
+
+
+class TestLine:
+    def test_structure(self):
+        hg = line_hypergraph(4, shared=1, private=1)
+        assert len(hg) == 4
+        # Adjacent atoms share exactly the designated variables.
+        for i in range(3):
+            shared = hg.edge(f"p{i}").vertices & hg.edge(f"p{i + 1}").vertices
+            assert len(shared) == 1
+        # Non-adjacent atoms are disjoint (the paper's requirement).
+        assert not hg.edge("p0").vertices & hg.edge("p2").vertices
+
+    def test_wider_sharing(self):
+        hg = line_hypergraph(3, shared=2, private=0)
+        assert len(hg.edge("p1").vertices) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(HypergraphError):
+            line_hypergraph(0)
+
+
+class TestCycle:
+    def test_endpoints_share(self):
+        hg = cycle_hypergraph(5)
+        shared = hg.edge("p0").vertices & hg.edge("p4").vertices
+        assert len(shared) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(HypergraphError):
+            cycle_hypergraph(1)
+
+
+class TestCliqueAndGrid:
+    def test_clique_edge_count(self):
+        hg = clique_hypergraph(5)
+        assert len(hg) == 10
+        assert len(hg.vertices) == 5
+
+    def test_clique_invalid(self):
+        with pytest.raises(HypergraphError):
+            clique_hypergraph(1)
+
+    def test_grid_structure(self):
+        hg = grid_hypergraph(3, 4)
+        assert len(hg.vertices) == 12
+        # 3*(4-1) horizontal + (3-1)*4 vertical edges
+        assert len(hg) == 9 + 8
+
+    def test_grid_1x1(self):
+        hg = grid_hypergraph(1, 1)
+        assert len(hg) == 0 or len(hg.vertices) <= 1
+
+    def test_grid_invalid(self):
+        with pytest.raises(HypergraphError):
+            grid_hypergraph(0, 3)
+
+    def test_single_row_grid_acyclic(self):
+        assert is_acyclic(grid_hypergraph(1, 6))
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        hg1 = random_hypergraph(10, 8, seed=5)
+        hg2 = random_hypergraph(10, 8, seed=5)
+        assert hg1 == hg2
+
+    def test_covers_all_vertices(self):
+        hg = random_hypergraph(20, 3, max_arity=2, seed=0)
+        assert len(hg.vertices) == 20
+
+    def test_invalid_args(self):
+        with pytest.raises(HypergraphError):
+            random_hypergraph(0, 5)
+        with pytest.raises(HypergraphError):
+            random_hypergraph(5, 5, max_arity=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_vertices=st.integers(min_value=1, max_value=15),
+    n_edges=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_random_hypergraph_wellformed(n_vertices, n_edges, seed):
+    hg = random_hypergraph(n_vertices, n_edges, seed=seed)
+    assert len(hg.vertices) == n_vertices
+    for edge in hg:
+        assert edge.vertices <= hg.vertices
+        assert len(edge) >= 1

@@ -1,0 +1,121 @@
+"""Tests for hinge decompositions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypergraphError
+from repro.hypergraph import Hypergraph, cycle_hypergraph, line_hypergraph
+from repro.hypergraph.hinges import (
+    HingeTree,
+    degree_of_cyclicity,
+    hinge_decomposition,
+)
+
+
+class TestStructure:
+    def test_line_splits_into_pairs(self):
+        tree = hinge_decomposition(line_hypergraph(6))
+        assert tree.covers_all_edges()
+        assert tree.adjacent_blocks_share_one_edge()
+        # GJC: acyclic hypergraphs have degree of cyclicity ≤ 2.
+        assert tree.degree_of_cyclicity <= 2
+
+    def test_cycle_is_one_unsplittable_hinge(self):
+        for n in (4, 6, 8):
+            tree = hinge_decomposition(cycle_hypergraph(n, private=0))
+            assert tree.degree_of_cyclicity == n
+            assert len(tree.nodes()) == 1
+
+    def test_cycle_with_pendant_tail(self):
+        hg = Hypergraph.from_dict(
+            {
+                "c1": ["A", "B"],
+                "c2": ["B", "C"],
+                "c3": ["C", "A"],
+                "tail1": ["A", "T1"],
+                "tail2": ["T1", "T2"],
+            }
+        )
+        tree = hinge_decomposition(hg)
+        assert tree.covers_all_edges()
+        assert tree.adjacent_blocks_share_one_edge()
+        # The triangle survives as a 3-hinge; the tail splits off.
+        assert tree.degree_of_cyclicity == 3
+
+    def test_two_cycles_sharing_an_edge(self):
+        hg = Hypergraph.from_dict(
+            {
+                "ab": ["A", "B"], "bc": ["B", "C"], "ca": ["C", "A"],
+                "ad": ["A", "D"], "de": ["D", "E"], "ea": ["E", "A"],
+            }
+        )
+        tree = hinge_decomposition(hg)
+        assert tree.covers_all_edges()
+        # Each triangle is (at worst) its own hinge.
+        assert tree.degree_of_cyclicity <= 4
+
+    def test_single_edge(self):
+        assert degree_of_cyclicity(Hypergraph.from_dict({"a": ["X"]})) == 1
+
+    def test_two_edges(self):
+        hg = Hypergraph.from_dict({"a": ["X", "Y"], "b": ["Y", "Z"]})
+        assert degree_of_cyclicity(hg) == 2
+
+    def test_empty(self):
+        assert degree_of_cyclicity(Hypergraph()) == 0
+        with pytest.raises(HypergraphError):
+            hinge_decomposition(Hypergraph())
+
+    def test_render(self):
+        tree = hinge_decomposition(line_hypergraph(4))
+        text = tree.render()
+        assert "{" in text and "via" in text
+
+
+class TestRelationToOtherWidths:
+    def test_hypertree_width_never_exceeds_degree(self):
+        # hw ≤ degree of cyclicity (hinge trees are a special case).
+        from repro.core.detkdecomp import hypertree_width
+
+        cases = [
+            line_hypergraph(5),
+            cycle_hypergraph(5, private=0),
+            Hypergraph.from_dict(
+                {"a": ["X", "Y"], "b": ["Y", "Z"], "c": ["Z", "X"], "d": ["X", "W"]}
+            ),
+        ]
+        for hg in cases:
+            assert hypertree_width(hg) <= max(degree_of_cyclicity(hg), 1)
+
+    def test_the_motivating_gap(self):
+        # Cycles: hinge degree grows with n, hypertree width stays 2.
+        from repro.core.detkdecomp import hypertree_width
+
+        hg = cycle_hypergraph(8, private=0)
+        assert degree_of_cyclicity(hg) == 8
+        assert hypertree_width(hg) == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10))
+def test_property_lines_have_degree_at_most_2(n):
+    tree = hinge_decomposition(line_hypergraph(n))
+    assert tree.degree_of_cyclicity <= 2
+    assert tree.covers_all_edges()
+    assert tree.adjacent_blocks_share_one_edge()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    tail=st.integers(min_value=0, max_value=4),
+)
+def test_property_cycle_with_tails(n, tail):
+    edges = {f"c{i}": [f"V{i}", f"V{(i + 1) % n}"] for i in range(n)}
+    for t in range(tail):
+        edges[f"t{t}"] = [f"V0" if t == 0 else f"T{t - 1}", f"T{t}"]
+    hg = Hypergraph.from_dict(edges)
+    tree = hinge_decomposition(hg)
+    assert tree.covers_all_edges()
+    assert tree.adjacent_blocks_share_one_edge()
+    assert tree.degree_of_cyclicity == n

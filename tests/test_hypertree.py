@@ -1,0 +1,141 @@
+"""Tests for the hypertree structure and decomposition condition checkers."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.hypergraph import Hypergraph
+from repro.core.hypertree import Hypertree, HypertreeNode, make_node
+
+
+@pytest.fixture()
+def triangle():
+    """The cyclic triangle hypergraph ab–bc–ca."""
+    return Hypergraph.from_dict(
+        {"ab": ["A", "B"], "bc": ["B", "C"], "ca": ["C", "A"]}
+    )
+
+
+def width2_triangle_tree(hg):
+    """A valid width-2 hypertree decomposition of the triangle."""
+    child = make_node(chi=["B", "C"], lam=["bc"])
+    root = make_node(chi=["A", "B", "C"], lam=["ab", "ca"], children=[child])
+    return Hypertree(root, hg)
+
+
+class TestStructure:
+    def test_width_and_size(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        assert tree.width == 2
+        assert len(tree) == 2
+
+    def test_unknown_edge_rejected(self, triangle):
+        with pytest.raises(DecompositionError):
+            Hypertree(make_node(["A"], ["zzz"]), triangle)
+
+    def test_walk_and_postorder(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        pre = [n.lam for n in tree.root.walk()]
+        post = [n.lam for n in tree.root.postorder()]
+        assert pre[0] == ("ab", "ca")
+        assert post[-1] == ("ab", "ca")
+
+    def test_subtree_chi(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        assert tree.root.subtree_chi() == frozenset({"A", "B", "C"})
+
+    def test_clone_is_deep(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        copy = tree.clone()
+        copy.root.lam = ()
+        assert tree.root.lam == ("ab", "ca")
+
+    def test_clone_relinks_guards(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        tree.root.guards["ab"] = tree.root.children[0]
+        copy = tree.clone()
+        assert copy.root.guards["ab"] is copy.root.children[0]
+
+    def test_atom_occurrences(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        occ = tree.atom_occurrences()
+        assert len(occ["ab"]) == 1
+        assert len(occ["bc"]) == 1
+
+    def test_render_contains_labels(self, triangle):
+        text = width2_triangle_tree(triangle).render()
+        assert "λ={ab, ca}" in text
+        assert "χ={A, B, C}" in text
+
+    def test_ordered_children_guards_first(self, triangle):
+        a = make_node(["A"], ["ab"])
+        b = make_node(["B"], ["bc"])
+        root = make_node(["A", "B"], ["ab"], children=[a, b])
+        root.guards["x"] = b
+        assert root.ordered_children() == [b, a]
+
+
+class TestConditions:
+    def test_valid_decomposition(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        assert tree.covers_all_edges()
+        assert tree.satisfies_connectedness()
+        assert tree.chi_covered_by_lambda()
+        assert tree.satisfies_special_condition()
+        assert tree.is_hypertree_decomposition()
+        assert tree.is_generalized_hypertree_decomposition()
+
+    def test_uncovered_edge_detected(self, triangle):
+        root = make_node(chi=["A", "B"], lam=["ab"])
+        tree = Hypertree(root, triangle)
+        assert set(tree.uncovered_edges()) == {"bc", "ca"}
+        assert not tree.covers_all_edges()
+
+    def test_connectedness_violation(self, triangle):
+        # A appears at the root and a grandchild, but not in between.
+        grandchild = make_node(chi=["A", "C"], lam=["ca"])
+        child = make_node(chi=["B", "C"], lam=["bc"], children=[grandchild])
+        root = make_node(chi=["A", "B"], lam=["ab"], children=[child])
+        tree = Hypertree(root, triangle)
+        assert not tree.satisfies_connectedness()
+
+    def test_chi_not_covered_by_lambda(self, triangle):
+        root = make_node(chi=["A", "B", "C"], lam=["ab"])
+        tree = Hypertree(root, triangle)
+        assert not tree.chi_covered_by_lambda()
+
+    def test_special_condition_violation(self, triangle):
+        # λ(root) mentions C (via ca) but χ(root) omits it, while C occurs
+        # in the subtree below: var(λ(p)) ∩ χ(T_p) ⊄ χ(p).
+        child = make_node(chi=["B", "C"], lam=["bc"])
+        root = make_node(chi=["A", "B"], lam=["ab", "ca"], children=[child])
+        tree = Hypertree(root, triangle)
+        assert not tree.satisfies_special_condition()
+        assert not tree.is_hypertree_decomposition()
+
+    def test_qhd_conditions(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        assert tree.is_q_hypertree_decomposition({"A", "B"})
+        assert tree.is_q_hypertree_decomposition({"B", "C"})  # child covers
+        assert tree.is_q_hypertree_decomposition({"A", "B", "C"})  # root covers
+        assert not tree.is_q_hypertree_decomposition({"A", "Z"})  # Z nowhere
+
+    def test_qhd_allows_chi_beyond_lambda(self, triangle):
+        # Definition 2 drops condition 3 of Definition 1.
+        child = make_node(chi=["B", "C"], lam=["bc"])
+        grandchild = make_node(chi=["A", "C"], lam=["ca"])
+        child.add_child(grandchild)
+        root = make_node(chi=["A", "B"], lam=["ab"], children=[child])
+        tree = Hypertree(root, triangle)
+        # cyclic connectedness broken here (A at root and grandchild)
+        assert not tree.is_q_hypertree_decomposition({"A"})
+
+    def test_output_cover_node_prefers_root(self, triangle):
+        tree = width2_triangle_tree(triangle)
+        assert tree.output_cover_node({"B", "C"}) is tree.root
+        assert tree.output_cover_node({"Z"}) is None
+
+    def test_output_cover_node_falls_back_to_descendant(self, triangle):
+        child = make_node(chi=["B", "C"], lam=["bc"])
+        root = make_node(chi=["A", "B"], lam=["ab"], children=[child])
+        tree = Hypertree(root, triangle)
+        assert tree.output_cover_node({"C"}) is child

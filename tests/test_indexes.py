@@ -1,0 +1,121 @@
+"""Tests for hash indexes and index-based operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.metering import WorkMeter
+from repro.relational import Relation
+from repro.relational.indexes import (
+    HashIndex,
+    IndexCatalog,
+    index_nested_loop_join,
+    indexed_semijoin,
+)
+
+
+@pytest.fixture()
+def build():
+    return Relation(
+        ["k", "v"], [(1, "a"), (1, "b"), (2, "c"), (3, "d")], name="build"
+    )
+
+
+@pytest.fixture()
+def probe():
+    return Relation(["x", "k"], [(10, 1), (20, 2), (30, 9)], name="probe")
+
+
+class TestHashIndex:
+    def test_lookup(self, build):
+        index = HashIndex(build, ["k"])
+        assert len(index.lookup((1,))) == 2
+        assert index.lookup((9,)) == []
+        assert len(index) == 3
+
+    def test_contains(self, build):
+        index = HashIndex(build, ["k"])
+        assert index.contains((2,))
+        assert not index.contains((9,))
+
+    def test_composite_key(self, build):
+        index = HashIndex(build, ["k", "v"])
+        assert len(index.lookup((1, "a"))) == 1
+        assert index.lookup((1, "zzz")) == []
+
+    def test_empty_attributes_rejected(self, build):
+        with pytest.raises(SchemaError):
+            HashIndex(build, [])
+
+    def test_unknown_attribute_rejected(self, build):
+        with pytest.raises(SchemaError):
+            HashIndex(build, ["nope"])
+
+    def test_build_cost(self, build):
+        assert HashIndex(build, ["k"]).build_cost == 4
+
+    def test_probe_charges_meter(self, build):
+        index = HashIndex(build, ["k"])
+        meter = WorkMeter()
+        index.lookup((1,), meter)
+        assert meter.by_category["index-probe"] == 1
+
+
+class TestIndexJoin:
+    def test_matches_hash_join(self, build, probe):
+        index = HashIndex(build, ["k"])
+        via_index = index_nested_loop_join(probe, index)
+        via_hash = probe.natural_join(build)
+        assert via_index.same_content(via_hash)
+
+    def test_missing_probe_attribute(self, build):
+        index = HashIndex(build, ["k"])
+        other = Relation(["z"], [(1,)])
+        with pytest.raises(SchemaError):
+            index_nested_loop_join(other, index)
+
+    def test_residual_shared_attributes(self):
+        build = Relation(["k", "v"], [(1, "a"), (1, "b")], name="b")
+        probe = Relation(["k", "v"], [(1, "a"), (1, "z")], name="p")
+        index = HashIndex(build, ["k"])
+        joined = index_nested_loop_join(probe, index)
+        # Residual equality on v must filter (1, "z").
+        assert joined.same_content(probe.natural_join(build))
+
+    def test_work_accounting(self, build, probe):
+        index = HashIndex(build, ["k"])
+        meter = WorkMeter()
+        index_nested_loop_join(probe, index, meter)
+        assert meter.by_category["inl-probe"] == 3
+
+
+class TestIndexedSemijoin:
+    def test_matches_plain_semijoin(self, build, probe):
+        index = HashIndex(build, ["k"])
+        via_index = indexed_semijoin(probe, index)
+        assert via_index.same_content(probe.semijoin(build))
+
+    def test_missing_attribute(self, build):
+        index = HashIndex(build, ["k"])
+        with pytest.raises(SchemaError):
+            indexed_semijoin(Relation(["z"], [(1,)]), index)
+
+
+class TestCatalog:
+    def test_create_find_drop(self, build):
+        catalog = IndexCatalog()
+        index = catalog.create(build, ["k"])
+        assert catalog.find("build", ["k"]) is index
+        assert catalog.find("build", ["v"]) is None
+        assert len(catalog) == 1
+        catalog.drop("build", ["k"])
+        assert len(catalog) == 0
+
+    def test_duplicate_rejected(self, build):
+        catalog = IndexCatalog()
+        catalog.create(build, ["k"])
+        with pytest.raises(SchemaError):
+            catalog.create(build, ["k"])
+
+    def test_drop_missing_rejected(self):
+        with pytest.raises(SchemaError):
+            IndexCatalog().drop("zzz", ["k"])

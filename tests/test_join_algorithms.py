@@ -1,0 +1,104 @@
+"""Tests for the physical join operators (hash / merge / nested loops)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.dbms import COMMDB_PROFILE, EngineProfile, SimulatedDBMS
+from repro.engine.plan import JoinNode, ScanNode
+from repro.metering import WorkMeter
+from repro.relational import Relation
+
+values = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def relation_pair(draw):
+    n1 = draw(st.integers(min_value=0, max_value=10))
+    n2 = draw(st.integers(min_value=0, max_value=10))
+    r = Relation(["a", "j"], [(draw(values), draw(values)) for _ in range(n1)], name="r")
+    s = Relation(["j", "b"], [(draw(values), draw(values)) for _ in range(n2)], name="s")
+    return r, s
+
+
+class TestOperatorEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(pair=relation_pair())
+    def test_merge_equals_hash(self, pair):
+        r, s = pair
+        assert r.merge_join(s).same_content(r.natural_join(s))
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=relation_pair())
+    def test_nlj_equals_hash(self, pair):
+        r, s = pair
+        assert r.nested_loop_join(s).same_content(r.natural_join(s))
+
+    def test_merge_without_shared_falls_back_to_cross(self):
+        r = Relation(["a"], [(1,), (2,)])
+        s = Relation(["b"], [(3,)])
+        assert len(r.merge_join(s)) == 2
+
+    def test_nlj_cross_product(self):
+        r = Relation(["a"], [(1,), (2,)])
+        s = Relation(["b"], [(3,), (4,)])
+        assert len(r.nested_loop_join(s)) == 4
+
+    def test_merge_duplicate_runs(self):
+        r = Relation(["j", "x"], [(1, "a"), (1, "b")])
+        s = Relation(["j", "y"], [(1, "p"), (1, "q")])
+        joined = r.merge_join(s)
+        assert len(joined) == 4
+
+    def test_work_categories(self):
+        r = Relation(["j"], [(1,), (2,)])
+        s = Relation(["j"], [(1,), (3,)])
+        m1, m2 = WorkMeter(), WorkMeter()
+        r.merge_join(s, meter=m1)
+        r.nested_loop_join(s, meter=m2)
+        assert "merge-sort" in m1.by_category
+        assert m2.by_category["nlj-pair"] == 4
+
+
+class TestPlannerSelection:
+    def test_profile_merge_join(self, chain_db, chain_sql):
+        profile = EngineProfile(name="mj", join_algorithm="merge", nlj_threshold=0.0)
+        dbms = SimulatedDBMS(chain_db, profile)
+        result = dbms.run_sql(chain_sql)
+        assert "MergeJoin" in result.plan_text
+        baseline = SimulatedDBMS(chain_db, COMMDB_PROFILE).run_sql(chain_sql)
+        assert result.relation.same_content(baseline.relation)
+
+    def test_nlj_for_tiny_inputs(self, tiny_tpch):
+        from repro.workloads.tpch_queries import query_q5
+
+        # region is estimated at ~1 row after its filter → NLJ fires.
+        dbms = SimulatedDBMS(tiny_tpch, COMMDB_PROFILE)
+        result = dbms.run_sql(query_q5())
+        assert "NestedLoopJoin" in result.plan_text
+        assert result.finished
+
+    def test_nlj_threshold_zero_disables(self, tiny_tpch):
+        from repro.workloads.tpch_queries import query_q5
+
+        profile = EngineProfile(name="hashonly", nlj_threshold=0.0)
+        dbms = SimulatedDBMS(tiny_tpch, profile)
+        result = dbms.run_sql(query_q5())
+        assert "NestedLoopJoin" not in result.plan_text
+
+    def test_all_algorithms_agree_on_q5(self, tiny_tpch):
+        from repro.workloads.tpch_queries import query_q5
+
+        answers = []
+        for algorithm in ("hash", "merge"):
+            profile = EngineProfile(name=algorithm, join_algorithm=algorithm)
+            result = SimulatedDBMS(tiny_tpch, profile).run_sql(query_q5())
+            answers.append(result.relation)
+        assert answers[0].same_content(answers[1])
+
+    def test_plan_node_labels(self):
+        join = JoinNode(ScanNode("a", "a"), ScanNode("b", "b"), ("x",), algorithm="merge")
+        assert "MergeJoin" in str(join)
+        join = JoinNode(ScanNode("a", "a"), ScanNode("b", "b"), ("x",), algorithm="nlj")
+        assert "NestedLoopJoin" in str(join)

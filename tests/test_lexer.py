@@ -1,0 +1,78 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query.lexer import Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("c_custkey lineitem x1")
+        assert all(t.kind is TokenKind.IDENT for t in tokens[:-1])
+
+    def test_numbers(self):
+        assert values("42 3.14 1e6 2.5E-3") == ["42", "3.14", "1e6", "2.5E-3"]
+        assert kinds("42 3.14") == [TokenKind.NUMBER, TokenKind.NUMBER]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'hello' 'it''s'")
+        assert tokens[0].value == "hello"
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("SELECT 'oops")
+        assert err.value.position == 7
+
+    def test_operators(self):
+        assert values("<= >= <> != = < >") == ["<=", ">=", "<>", "<>", "=", "<", ">"]
+
+    def test_arithmetic_as_operators(self):
+        tokens = tokenize("a + b * c")
+        assert tokens[1].kind is TokenKind.OPERATOR
+        assert tokens[3].kind is TokenKind.OPERATOR
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("SELECT @x")
+        assert err.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_matches_helper(self):
+        token = Token(TokenKind.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenKind.KEYWORD, "select")
+        assert not token.matches(TokenKind.IDENT, "select")
+        assert token.matches(TokenKind.KEYWORD)
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF

@@ -1,0 +1,71 @@
+"""Tests for work metering and the spill model."""
+
+import pytest
+
+from repro.errors import WorkBudgetExceeded
+from repro.metering import NULL_METER, NullMeter, SpillModel, WorkMeter
+
+
+class TestWorkMeter:
+    def test_accumulates_by_category(self):
+        meter = WorkMeter()
+        meter.charge(10, "scan")
+        meter.charge(5, "join")
+        meter.charge(3, "scan")
+        assert meter.total == 18
+        assert meter.by_category == {"scan": 13, "join": 5}
+
+    def test_snapshot_includes_total(self):
+        meter = WorkMeter()
+        meter.charge(7, "x")
+        snap = meter.snapshot()
+        assert snap == {"x": 7, "total": 7}
+
+    def test_budget_enforced(self):
+        meter = WorkMeter(budget=10)
+        meter.charge(10)
+        with pytest.raises(WorkBudgetExceeded) as err:
+            meter.charge(1)
+        assert err.value.budget == 10
+        assert err.value.spent == 11
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            WorkMeter(budget=0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            WorkMeter().charge(-1)
+
+    def test_elapsed_seconds_monotone(self):
+        meter = WorkMeter()
+        assert meter.elapsed_seconds >= 0.0
+
+    def test_null_meter_records_nothing(self):
+        NULL_METER.charge(10_000_000)
+        assert NULL_METER.total == 0
+        assert isinstance(NULL_METER, NullMeter)
+
+
+class TestSpillModel:
+    def test_no_charge_under_threshold(self):
+        meter = WorkMeter()
+        SpillModel(100, 10.0).charge(meter, 100)
+        assert meter.total == 0
+
+    def test_charge_over_threshold(self):
+        meter = WorkMeter()
+        SpillModel(100, 10.0).charge(meter, 150)
+        assert meter.total == 500
+        assert meter.by_category == {"spill": 500}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SpillModel(0)
+        with pytest.raises(ValueError):
+            SpillModel(10, -1.0)
+
+    def test_spill_respects_budget(self):
+        meter = WorkMeter(budget=100)
+        with pytest.raises(WorkBudgetExceeded):
+            SpillModel(10, 100.0).charge(meter, 50)

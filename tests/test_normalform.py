@@ -1,0 +1,83 @@
+"""Tests for the normal-form checker."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph, cycle_hypergraph, line_hypergraph
+from repro.core.costkdecomp import cost_k_decomp
+from repro.core.costmodel import DecompositionCostModel
+from repro.core.detkdecomp import det_k_decomp
+from repro.core.hypertree import Hypertree, make_node
+from repro.core.normalform import is_normal_form, normal_form_violations
+from repro.query.builder import ConjunctiveQueryBuilder
+
+
+def chain_query(n):
+    builder = ConjunctiveQueryBuilder("chain")
+    for i in range(n):
+        builder.atom(f"p{i}", f"rel{i}", f"V{i}", f"V{(i + 1) % n}")
+    return builder.output("V0").build()
+
+
+class TestConstructionsAreNF:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_det_k_decomp_on_cycles(self, n):
+        tree = det_k_decomp(cycle_hypergraph(n), 2)
+        assert is_normal_form(tree), normal_form_violations(tree)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_det_k_decomp_on_lines(self, n):
+        tree = det_k_decomp(line_hypergraph(n), 1)
+        assert is_normal_form(tree), normal_form_violations(tree)
+
+    def test_cost_k_decomp_is_nf(self):
+        q = chain_query(6)
+        model = DecompositionCostModel.uniform(q)
+        tree, _cost = cost_k_decomp(q.hypergraph(), 2, model)
+        assert is_normal_form(tree), normal_form_violations(tree)
+
+    def test_rooted_search_is_nf(self):
+        q = chain_query(6)
+        model = DecompositionCostModel.uniform(q)
+        tree, _ = cost_k_decomp(
+            q.hypergraph(), 2, model, required_root_cover={"V0", "V1"}
+        )
+        assert is_normal_form(tree)
+
+
+class TestViolations:
+    @pytest.fixture()
+    def triangle(self):
+        return Hypergraph.from_dict(
+            {"ab": ["A", "B"], "bc": ["B", "C"], "ca": ["C", "A"]}
+        )
+
+    def test_useless_child_flagged(self, triangle):
+        # Child that introduces no new variables violates condition 1.
+        child = make_node(["A", "B"], ["ab"])
+        root = make_node(["A", "B", "C"], ["ab", "bc"], children=[child])
+        tree = Hypertree(root, triangle)
+        violations = normal_form_violations(tree)
+        assert any("no new variables" in v for v in violations)
+
+    def test_loose_chi_flagged(self, triangle):
+        # χ(c) smaller than var(λ(c)) ∩ (V_c ∪ χ(p)) breaks condition 2.
+        child = make_node(["C"], ["bc", "ca"])
+        root = make_node(["A", "B"], ["ab"], children=[child])
+        tree = Hypertree(root, triangle)
+        violations = normal_form_violations(tree)
+        assert any("condition 2" in v for v in violations)
+
+    def test_no_progress_flagged(self):
+        hg = Hypergraph.from_dict({"ab": ["A", "B"], "cd": ["C", "D"], "bc": ["B", "C"]})
+        # Child whose λ covers only already-seen variables.
+        grandchild = make_node(["C", "D"], ["cd"])
+        child = make_node(["B", "C"], ["bc"], children=[grandchild])
+        root = make_node(["A", "B"], ["ab"], children=[child])
+        tree = Hypertree(root, hg)
+        assert is_normal_form(tree)  # this one is actually fine
+        # Now a child that repeats the parent's λ without touching V_c:
+        bad_child = make_node(["A", "B"], ["ab"])
+        root2 = make_node(["A", "B"], ["ab"], children=[bad_child])
+        tree2 = Hypertree(root2, hg)
+        violations = normal_form_violations(tree2)
+        assert violations  # no-new-variables (and thus non-NF)

@@ -1,0 +1,104 @@
+"""Property-based tests for the SQL parser: round-trips and total behaviour."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError, SqlSyntaxError
+from repro.query import ast
+from repro.query.parser import parse_sql
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        "select", "distinct", "from", "where", "and", "or", "not", "group",
+        "order", "by", "as", "asc", "desc", "limit", "between", "date",
+        "interval", "year", "month", "day", "like", "in", "is", "null",
+        "exists", "sum", "count", "min", "max", "avg",
+    }
+)
+
+literal_value = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(alphabet=string.ascii_letters + " ", min_size=0, max_size=12),
+)
+
+
+@st.composite
+def random_query(draw):
+    """A random SelectQuery built from valid components."""
+    n_tables = draw(st.integers(min_value=1, max_value=4))
+    names = draw(
+        st.lists(identifier, min_size=n_tables, max_size=n_tables, unique=True)
+    )
+    tables = tuple(ast.TableRef(name, name) for name in names)
+
+    def column():
+        table = draw(st.sampled_from(names))
+        col = draw(identifier)
+        return ast.ColumnRef(table, col)
+
+    n_select = draw(st.integers(min_value=1, max_value=3))
+    select_items = tuple(
+        ast.SelectItem(column(), alias=draw(st.one_of(st.none(), identifier)))
+        for _ in range(n_select)
+    )
+
+    predicates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        kind = draw(st.sampled_from(["join", "filter", "inlist"]))
+        if kind == "join":
+            predicates.append(ast.Comparison("=", column(), column()))
+        elif kind == "filter":
+            op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+            predicates.append(
+                ast.Comparison(op, column(), ast.Literal(draw(literal_value)))
+            )
+        else:
+            values = tuple(
+                draw(st.lists(literal_value, min_size=1, max_size=3))
+            )
+            predicates.append(ast.InList(column(), values))
+
+    return ast.SelectQuery(
+        select_items=select_items,
+        tables=tables,
+        predicates=tuple(predicates),
+        distinct=draw(st.booleans()),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=99))),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(query=random_query())
+def test_to_sql_round_trips(query):
+    """Rendering to SQL and reparsing yields the identical AST."""
+    sql = query.to_sql()
+    reparsed = parse_sql(sql)
+    assert reparsed == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(max_size=80))
+def test_parser_is_total_on_garbage(text):
+    """Arbitrary input either parses or raises a library error — never an
+    unexpected exception type."""
+    try:
+        parse_sql(text)
+    except ReproError:
+        pass  # SqlSyntaxError / QueryError are the contract
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    prefix=st.sampled_from(
+        ["SELECT a FROM t WHERE ", "SELECT a FROM t GROUP BY ", "SELECT "]
+    ),
+    junk=st.text(alphabet="abc()=<>,'%123 ", max_size=30),
+)
+def test_parser_is_total_on_truncated_queries(prefix, junk):
+    try:
+        parse_sql(prefix + junk)
+    except ReproError:
+        pass

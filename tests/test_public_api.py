@@ -1,0 +1,36 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_quickstart_surface(self, chain_db, chain_sql):
+        """The README quickstart works straight off the top-level package."""
+        optimizer = repro.HybridOptimizer(chain_db, max_width=2)
+        plan = optimizer.optimize(chain_sql)
+        result = plan.execute()
+
+        dbms = repro.SimulatedDBMS(chain_db, repro.COMMDB_PROFILE)
+        baseline = dbms.run_sql(chain_sql)
+        assert baseline.relation.same_content(result.relation)
+
+    def test_width_helpers(self):
+        hg = repro.Hypergraph.from_dict(
+            {"a": ["X", "Y"], "b": ["Y", "Z"], "c": ["Z", "X"]}
+        )
+        assert not repro.is_acyclic(hg)
+        assert repro.hypertree_width(hg) == 2
+        assert repro.det_k_decomp(hg, 2) is not None
+
+    def test_errors_catchable_from_root(self):
+        with pytest.raises(repro.ReproError):
+            repro.parse_sql("not sql at all !!!")

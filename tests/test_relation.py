@@ -1,0 +1,195 @@
+"""Tests for the relational algebra."""
+
+import pytest
+
+from repro.errors import SchemaError, WorkBudgetExceeded
+from repro.metering import WorkMeter
+from repro.relational import Relation
+
+
+@pytest.fixture()
+def r():
+    return Relation(["a", "b"], [(1, "x"), (2, "y"), (2, "z"), (1, "x")], name="r")
+
+
+@pytest.fixture()
+def s():
+    return Relation(["b", "c"], [("x", 10), ("y", 20), ("y", 21)], name="s")
+
+
+class TestBasics:
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "a"], [])
+        with pytest.raises(SchemaError):
+            Relation(["a"], [(1, 2)])
+
+    def test_index_and_column(self, r):
+        assert r.index_of("b") == 1
+        assert r.column("a") == [1, 2, 2, 1]
+        with pytest.raises(SchemaError):
+            r.index_of("zzz")
+
+    def test_same_content_ignores_attribute_order(self):
+        r1 = Relation(["a", "b"], [(1, "x")])
+        r2 = Relation(["b", "a"], [("x", 1)])
+        assert r1.same_content(r2)
+
+    def test_same_content_respects_multiplicity(self):
+        r1 = Relation(["a"], [(1,), (1,)])
+        r2 = Relation(["a"], [(1,)])
+        assert not r1.same_content(r2)
+
+    def test_copy_is_independent(self, r):
+        c = r.copy()
+        c.tuples.append((9, "q"))
+        assert len(r) == 4
+
+
+class TestUnary:
+    def test_project_dedup(self, r):
+        p = r.project(["a"])
+        assert sorted(p.tuples) == [(1,), (2,)]
+
+    def test_project_no_dedup(self, r):
+        p = r.project(["a"], dedup=False)
+        assert len(p) == 4
+
+    def test_project_reorders(self, r):
+        p = r.project(["b", "a"], dedup=False)
+        assert p.tuples[0] == ("x", 1)
+
+    def test_select_predicate(self, r):
+        out = r.select(lambda row: row[0] == 2)
+        assert len(out) == 2
+
+    def test_select_compare_all_ops(self):
+        rel = Relation(["a"], [(i,) for i in range(5)])
+        assert len(rel.select_compare("a", "=", 2)) == 1
+        assert len(rel.select_compare("a", "<>", 2)) == 4
+        assert len(rel.select_compare("a", "<", 2)) == 2
+        assert len(rel.select_compare("a", "<=", 2)) == 3
+        assert len(rel.select_compare("a", ">", 2)) == 2
+        assert len(rel.select_compare("a", ">=", 2)) == 3
+        with pytest.raises(SchemaError):
+            rel.select_compare("a", "~", 2)
+
+    def test_select_attr_eq(self):
+        rel = Relation(["a", "b"], [(1, 1), (1, 2)])
+        assert rel.select_attr_eq("a", "b").tuples == [(1, 1)]
+
+    def test_rename(self, r):
+        renamed = r.rename({"a": "x"})
+        assert renamed.attributes == ("x", "b")
+        assert renamed.tuples == r.tuples
+
+    def test_distinct(self, r):
+        assert len(r.distinct()) == 3
+
+    def test_sort_multi_key(self):
+        rel = Relation(["a", "b"], [(1, 2), (2, 1), (1, 1)])
+        out = rel.sort_by([("a", False), ("b", True)])
+        assert out.tuples == [(1, 2), (1, 1), (2, 1)]
+
+    def test_limit(self, r):
+        assert len(r.limit(2)) == 2
+
+
+class TestJoin:
+    def test_natural_join(self, r, s):
+        j = r.natural_join(s)
+        assert set(j.attributes) == {"a", "b", "c"}
+        # (1,x) appears twice, matching (x,10) → 2 rows;
+        # (2,y) matches (y,20) and (y,21) → 2 rows; (2,z) matches nothing.
+        assert len(j) == 4
+
+    def test_join_no_shared_is_cross(self):
+        r1 = Relation(["a"], [(1,), (2,)])
+        r2 = Relation(["b"], [(3,), (4,), (5,)])
+        assert len(r1.natural_join(r2)) == 6
+
+    def test_join_empty_side(self, r):
+        empty = Relation(["b", "c"], [])
+        assert len(r.natural_join(empty)) == 0
+
+    def test_join_work_charged(self, r, s):
+        meter = WorkMeter()
+        r.natural_join(s, meter=meter)
+        assert meter.total > 0
+        assert "join-out" in meter.by_category
+
+    def test_join_budget_aborts(self):
+        big1 = Relation(["a"], [(i,) for i in range(100)])
+        big2 = Relation(["b"], [(i,) for i in range(100)])
+        meter = WorkMeter(budget=500)
+        with pytest.raises(WorkBudgetExceeded):
+            big1.natural_join(big2, meter=meter)  # 10 000-row cross product
+
+    def test_semijoin(self, r, s):
+        out = r.semijoin(s)
+        assert sorted(set(out.tuples)) == [(1, "x"), (2, "y")]
+
+    def test_semijoin_no_shared_nonempty_other(self, r):
+        other = Relation(["zz"], [(1,)])
+        assert len(r.semijoin(other)) == len(r)
+
+    def test_semijoin_no_shared_empty_other(self, r):
+        other = Relation(["zz"], [])
+        assert len(r.semijoin(other)) == 0
+
+    def test_union(self):
+        r1 = Relation(["a", "b"], [(1, 2)])
+        r2 = Relation(["b", "a"], [(4, 3)])
+        u = r1.union(r2)
+        assert (3, 4) in u.tuples
+        assert len(u) == 2
+
+    def test_union_schema_mismatch(self, r, s):
+        with pytest.raises(SchemaError):
+            r.union(s)
+
+
+class TestAggregate:
+    def test_group_by_count_sum(self):
+        rel = Relation(["g", "v"], [("a", 1), ("a", 2), ("b", 5)])
+        out = rel.group_aggregate(
+            ["g"], [("count", None, "n"), ("sum", "v", "total")]
+        )
+        assert sorted(out.tuples) == [("a", 2, 3), ("b", 1, 5)]
+
+    def test_min_max_avg(self):
+        rel = Relation(["v"], [(1,), (2,), (3,)])
+        out = rel.group_aggregate(
+            [], [("min", "v", "lo"), ("max", "v", "hi"), ("avg", "v", "mean")]
+        )
+        assert out.tuples == [(1, 3, 2.0)]
+
+    def test_global_aggregate_on_empty(self):
+        rel = Relation(["v"], [])
+        out = rel.group_aggregate([], [("count", None, "n"), ("sum", "v", "s")])
+        assert out.tuples == [(0, None)]
+
+    def test_unknown_function_rejected(self):
+        rel = Relation(["v"], [(1,)])
+        with pytest.raises(SchemaError):
+            rel.group_aggregate([], [("median", "v", "m")])
+
+    def test_sum_requires_attribute(self):
+        rel = Relation(["v"], [(1,)])
+        with pytest.raises(SchemaError):
+            rel.group_aggregate([], [("sum", None, "s")])
+
+    def test_float_sum_is_order_independent(self):
+        # Different plans feed groups in different row orders; SUM must not
+        # depend on it (math.fsum under the hood).
+        values = [0.1, 1e16, -1e16, 0.2, 0.3, 7.7, -3.3]
+        rel1 = Relation(["v"], [(v,) for v in values])
+        rel2 = Relation(["v"], [(v,) for v in reversed(values)])
+        s1 = rel1.group_aggregate([], [("sum", "v", "s")]).tuples[0][0]
+        s2 = rel2.group_aggregate([], [("sum", "v", "s")]).tuples[0][0]
+        assert s1 == s2
+
+    def test_integer_sum_stays_exact_int(self):
+        rel = Relation(["v"], [(10**18,), (1,)])
+        total = rel.group_aggregate([], [("sum", "v", "s")]).tuples[0][0]
+        assert total == 10**18 + 1 and isinstance(total, int)

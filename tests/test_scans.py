@@ -1,0 +1,128 @@
+"""Tests for base-scan construction (atom_relations)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.engine.scans import (
+    apply_residual_filters,
+    atom_relations,
+    atom_relations_positional,
+    atom_relations_sql,
+)
+from repro.metering import WorkMeter
+from repro.query.builder import ConjunctiveQueryBuilder
+from repro.query.conjunctive import Constant
+from repro.query.parser import parse_sql
+from repro.query.translate import sql_to_conjunctive
+from repro.relational import AttributeType, Database, RelationSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database("scans")
+    database.create_table(
+        RelationSchema.of(
+            "t", {"a": AttributeType.INT, "b": AttributeType.INT, "c": AttributeType.INT}
+        ),
+        [(1, 1, 5), (1, 2, 6), (2, 2, 7), (3, 3, 8)],
+    )
+    database.create_table(
+        RelationSchema.of("s", {"b": AttributeType.INT, "d": AttributeType.INT}),
+        [(1, 10), (2, 20)],
+    )
+    return database
+
+
+class TestSqlMode:
+    def test_variables_renamed(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t, s WHERE t.b = s.b"),
+            db.schema.as_mapping(),
+        )
+        rels = atom_relations(tr.query, db, tr)
+        t_rel = rels["t"]
+        assert set(t_rel.attributes) == set(tr.query.atom("t").terms)
+
+    def test_filters_pushed(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t WHERE t.a = 1"),
+            db.schema.as_mapping(),
+        )
+        rels = atom_relations(tr.query, db, tr)
+        assert len(rels["t"]) == 2
+
+    def test_intra_atom_equality_applied(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t WHERE t.a = t.b"),
+            db.schema.as_mapping(),
+        )
+        rels = atom_relations(tr.query, db, tr)
+        # rows with a = b: (1,1,5), (2,2,7), (3,3,8) → 3 distinct c values
+        assert len(rels["t"]) == 3
+
+    def test_scan_work_charged(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t"), db.schema.as_mapping()
+        )
+        meter = WorkMeter()
+        atom_relations(tr.query, db, tr, meter)
+        assert meter.by_category["scan"] == 4
+
+    def test_unpushed_filters_returned_as_residual(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t WHERE t.a = 1"),
+            db.schema.as_mapping(),
+        )
+        rels, residual = atom_relations_sql(
+            tr.query, db, tr, push_filters=False
+        )
+        assert len(rels["t"]) == 4  # unfiltered
+        assert len(residual) == 1
+
+    def test_residual_filters_applied_on_result(self, db):
+        tr = sql_to_conjunctive(
+            parse_sql("SELECT t.c FROM t WHERE t.a = 1"),
+            db.schema.as_mapping(),
+        )
+        rels, residual = atom_relations_sql(
+            tr.query, db, tr, push_filters=False
+        )
+        filtered = apply_residual_filters(rels["t"], residual)
+        a_var = tr.variable_for("t", "a")
+        idx = filtered.index_of(a_var)
+        assert all(row[idx] == 1 for row in filtered.tuples)
+
+
+class TestPositionalMode:
+    def test_basic_binding(self, db):
+        q = ConjunctiveQueryBuilder().atom("x", "s", "B", "D").output("D").build()
+        rels = atom_relations_positional(q, db)
+        assert set(rels["x"].attributes) == {"B", "D"}
+        assert len(rels["x"]) == 2
+
+    def test_constant_term_filters(self, db):
+        q = (
+            ConjunctiveQueryBuilder()
+            .atom("x", "s", Constant(1), "D")
+            .output("D")
+            .build()
+        )
+        rels = atom_relations_positional(q, db)
+        assert rels["x"].tuples == [(10,)]
+        assert rels["x"].attributes == ("D",)
+
+    def test_repeated_variable_enforces_equality(self, db):
+        q = ConjunctiveQueryBuilder().atom("x", "t", "V", "V", "C").output("C").build()
+        rels = atom_relations_positional(q, db)
+        # rows with a = b → c ∈ {5, 7, 8}
+        assert len(rels["x"]) == 3
+
+    def test_arity_mismatch_rejected(self, db):
+        q = ConjunctiveQueryBuilder().atom("x", "s", "A").output("A").build()
+        with pytest.raises(QueryError, match="arity"):
+            atom_relations_positional(q, db)
+
+    def test_dispatch_without_translation(self, db):
+        q = ConjunctiveQueryBuilder().atom("x", "s", "B", "D").output("D").build()
+        rels = atom_relations(q, db)  # no translation → positional
+        assert "x" in rels

@@ -1,0 +1,95 @@
+"""Tests for ANALYZE statistics and the catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.metering import WorkMeter
+from repro.relational import Relation, StatisticsCatalog, analyze_relation
+
+
+@pytest.fixture()
+def rel():
+    return Relation(
+        ["k", "v"],
+        [(1, "a"), (2, "a"), (3, "b"), (4, "a"), (4, "c")],
+        name="t",
+    )
+
+
+class TestAnalyze:
+    def test_row_count_and_distinct(self, rel):
+        stats = analyze_relation(rel)
+        assert stats.row_count == 5
+        assert stats.attribute("k").n_distinct == 4
+        assert stats.attribute("v").n_distinct == 3
+
+    def test_min_max(self, rel):
+        stats = analyze_relation(rel)
+        assert stats.attribute("k").min_value == 1
+        assert stats.attribute("k").max_value == 4
+        assert stats.attribute("v").min_value == "a"
+
+    def test_most_common_values(self, rel):
+        stats = analyze_relation(rel)
+        mcv = stats.attribute("v").most_common
+        assert mcv[0] == ("a", 3)
+
+    def test_mcv_limit(self, rel):
+        stats = analyze_relation(rel, mcv_limit=1)
+        assert len(stats.attribute("k").most_common) == 1
+
+    def test_empty_relation(self):
+        stats = analyze_relation(Relation(["a"], [], name="e"))
+        assert stats.row_count == 0
+        assert stats.attribute("a").min_value is None
+        assert stats.attribute("a").n_distinct == 0
+
+    def test_selectivity(self, rel):
+        stats = analyze_relation(rel)
+        assert stats.attribute("k").selectivity == pytest.approx(0.25)
+
+    def test_distinct_defaults_to_rowcount_for_unknown(self, rel):
+        stats = analyze_relation(rel)
+        assert stats.distinct("unknown_attr") == 5
+
+    def test_attribute_error(self, rel):
+        stats = analyze_relation(rel)
+        with pytest.raises(SchemaError):
+            stats.attribute("zzz")
+
+    def test_work_charged_per_scan(self, rel):
+        meter = WorkMeter()
+        analyze_relation(rel, meter=meter)
+        # One pass per attribute: 2 × 5 rows.
+        assert meter.total == 10
+        assert meter.by_category["analyze"] == 10
+
+
+class TestCatalog:
+    def test_put_get(self, rel):
+        catalog = StatisticsCatalog()
+        catalog.put(analyze_relation(rel))
+        assert "t" in catalog
+        assert catalog.get("T").row_count == 5
+        assert catalog.get("missing") is None
+
+    def test_require(self, rel):
+        catalog = StatisticsCatalog()
+        with pytest.raises(SchemaError):
+            catalog.require("t")
+        catalog.put(analyze_relation(rel))
+        assert catalog.require("t").row_count == 5
+
+    def test_manual_statistics(self):
+        catalog = StatisticsCatalog()
+        catalog.put_manual("orders", row_count=15000, distinct_counts={"o_custkey": 1500})
+        stats = catalog.require("orders")
+        assert stats.row_count == 15000
+        assert stats.distinct("o_custkey") == 1500
+
+    def test_clear_and_len(self, rel):
+        catalog = StatisticsCatalog()
+        catalog.put(analyze_relation(rel))
+        assert len(catalog) == 1
+        catalog.clear()
+        assert len(catalog) == 0

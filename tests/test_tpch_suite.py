@@ -1,0 +1,42 @@
+"""Unit tests for the TPC-H suite runner (tiny database)."""
+
+import pytest
+
+from repro.bench.tpch_suite import SYSTEMS, SuiteRow, render_suite, run_tpch_suite
+
+
+@pytest.fixture(scope="module")
+def rows(tiny_tpch):
+    return run_tpch_suite(database=tiny_tpch, max_width=3, budget=5_000_000)
+
+
+class TestSuite:
+    def test_all_queries_present(self, rows):
+        assert sorted(row.query for row in rows) == ["q10", "q3", "q5", "q7", "q8", "q9"]
+
+    def test_all_systems_measured(self, rows):
+        for row in rows:
+            assert set(row.work) == set(SYSTEMS)
+
+    def test_answers_agree_everywhere(self, rows):
+        assert all(row.agree for row in rows)
+
+    def test_widths_recorded(self, rows):
+        assert all(row.qhd_width is not None for row in rows)
+
+    def test_qhd_and_coupled_engine_match_exactly(self, rows):
+        # Both run the same decomposition pipeline → identical work.
+        for row in rows:
+            if row.work["q-hd"] is not None and row.work["postgres+q-hd"] is not None:
+                assert row.work["q-hd"] == row.work["postgres+q-hd"]
+
+    def test_render(self, rows):
+        text = render_suite(rows)
+        assert "query" in text
+        assert "q5" in text
+        assert text.count("yes") == len(rows)
+
+    def test_render_handles_dnf(self):
+        row = SuiteRow(query="qX", work={s: None for s in SYSTEMS})
+        text = render_suite([row])
+        assert "DNF" in text

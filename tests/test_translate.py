@@ -1,0 +1,172 @@
+"""Tests for SQL → conjunctive-query translation (§2 of the paper)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import ast
+from repro.query.parser import parse_sql
+from repro.query.translate import sql_to_conjunctive
+
+SCHEMA = {
+    "customer": ["c_custkey", "c_nationkey"],
+    "orders": ["o_orderkey", "o_custkey", "o_orderdate"],
+    "lineitem": ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    "supplier": ["s_suppkey", "s_nationkey"],
+    "nation": ["n_nationkey", "n_name", "n_regionkey"],
+    "region": ["r_regionkey", "r_name"],
+    "t": ["a", "b", "c"],
+    "s": ["a", "d"],
+}
+
+
+def translate(sql, name="Q"):
+    return sql_to_conjunctive(parse_sql(sql), SCHEMA, name=name)
+
+
+class TestEquivalenceClasses:
+    def test_join_condition_merges_columns(self):
+        tr = translate("SELECT t.b FROM t, s WHERE t.a = s.a")
+        variable = tr.variable_for("t", "a")
+        assert variable is not None
+        assert tr.variable_bindings[variable] == {"t": "a", "s": "a"}
+
+    def test_transitive_merge(self):
+        tr = translate(
+            "SELECT c_custkey FROM customer, orders, lineitem "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+        )
+        v = tr.variable_for("customer", "c_custkey")
+        assert tr.variable_bindings[v] == {"customer": "c_custkey", "orders": "o_custkey"}
+
+    def test_select_only_attribute_becomes_variable(self):
+        tr = translate("SELECT t.c FROM t, s WHERE t.a = s.a")
+        assert tr.variable_for("t", "c") is not None
+
+    def test_unmentioned_attribute_is_not_a_variable(self):
+        tr = translate("SELECT t.c FROM t, s WHERE t.a = s.a")
+        assert tr.variable_for("t", "b") is None
+        assert tr.variable_for("s", "d") is None
+
+    def test_atom_arity_is_reduced(self):
+        # The paper: atoms may have smaller arity than in the schema.
+        tr = translate("SELECT t.c FROM t, s WHERE t.a = s.a")
+        atom = tr.query.atom("t")
+        assert len(atom.terms) == 2  # a (joined) + c (selected)
+
+
+class TestFilters:
+    def test_constant_filters_attached_to_atom(self):
+        tr = translate("SELECT t.b FROM t WHERE t.a = 1 AND t.c > 2")
+        assert len(tr.atom_filters["t"]) == 2
+
+    def test_filter_attribute_still_a_variable(self):
+        tr = translate("SELECT t.b FROM t WHERE t.a = 1")
+        assert tr.variable_for("t", "a") is not None
+
+    def test_cross_relation_inequality_rejected(self):
+        with pytest.raises(QueryError, match="non-equality"):
+            translate("SELECT t.b FROM t, s WHERE t.a > s.a")
+
+    def test_intra_atom_equality(self):
+        tr = translate("SELECT t.c FROM t WHERE t.a = t.b")
+        assert tr.intra_atom_equalities["t"] == (("a", "b"),)
+        # Only one variable carries the merged class for this atom.
+        atom = tr.query.atom("t")
+        v = tr.variable_for("t", "a")
+        assert list(atom.terms).count(v) == 1
+
+
+class TestOutput:
+    def test_select_and_group_by_are_output(self):
+        tr = translate(
+            "SELECT t.b, count(*) FROM t, s WHERE t.a = s.a GROUP BY t.b, t.c"
+        )
+        out = tr.query.output
+        assert tr.variable_for("t", "b") in out
+        assert tr.variable_for("t", "c") in out
+
+    def test_aggregate_argument_variables_are_output(self):
+        # Definition: out(Q) includes all variables in aggregates.
+        tr = translate("SELECT sum(t.b) FROM t, s WHERE t.a = s.a")
+        assert tr.variable_for("t", "b") in tr.query.output
+
+    def test_output_order_follows_select(self):
+        tr = translate("SELECT t.c, t.b FROM t")
+        assert tr.query.output == (
+            tr.variable_for("t", "c"),
+            tr.variable_for("t", "b"),
+        )
+
+    def test_star_select_covers_all_columns(self):
+        tr = translate("SELECT * FROM s")
+        assert set(tr.query.output) == {
+            tr.variable_for("s", "a"),
+            tr.variable_for("s", "d"),
+        }
+
+
+class TestResolution:
+    def test_unqualified_unique_column(self):
+        tr = translate("SELECT c_custkey FROM customer")
+        assert tr.variable_for("customer", "c_custkey") is not None
+
+    def test_ambiguous_column_rejected(self):
+        with pytest.raises(QueryError, match="ambiguous"):
+            translate("SELECT a FROM t, s")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QueryError, match="not found"):
+            translate("SELECT zzz FROM t")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(QueryError, match="schema"):
+            translate("SELECT a FROM missing_table")
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(QueryError, match="alias"):
+            translate("SELECT q.a FROM t")
+
+    def test_wrong_attribute_for_alias(self):
+        with pytest.raises(QueryError):
+            translate("SELECT t.d FROM t")
+
+    def test_resolve_variable_helper(self):
+        tr = translate("SELECT t.b FROM t, s WHERE t.a = s.a")
+        v = tr.resolve_variable(ast.ColumnRef("s", "a"))
+        assert v == tr.variable_for("t", "a")
+
+    def test_resolve_variable_unknown(self):
+        tr = translate("SELECT t.b FROM t")
+        with pytest.raises(QueryError):
+            tr.resolve_variable(ast.ColumnRef("t", "c"))
+
+
+class TestSelfJoins:
+    def test_same_relation_twice_distinct_atoms(self):
+        tr = translate(
+            "SELECT n1.n_name FROM nation n1, nation n2 "
+            "WHERE n1.n_regionkey = n2.n_nationkey"
+        )
+        assert len(tr.query.atoms) == 2
+        assert {a.name for a in tr.query.atoms} == {"n1", "n2"}
+        assert all(a.relation == "nation" for a in tr.query.atoms)
+
+
+class TestQ5Structure:
+    def test_q5_matches_paper_example_1(self):
+        from repro.workloads.tpch_queries import query_q5
+
+        tr = sql_to_conjunctive(parse_sql(query_q5()), SCHEMA, name="Q5")
+        q = tr.query
+        # Six atoms, one per relation (Example 1 of the paper).
+        assert len(q.atoms) == 6
+        # The hypergraph is cyclic.
+        from repro.hypergraph import is_acyclic
+
+        assert not is_acyclic(q.hypergraph())
+        # nationkey links customer, supplier and nation (one variable).
+        v = tr.variable_for("customer", "c_nationkey")
+        assert set(tr.variable_bindings[v]) == {"customer", "supplier", "nation"}
+        # Filters land on orders (dates) and region (name).
+        assert len(tr.atom_filters["orders"]) == 2
+        assert len(tr.atom_filters["region"]) == 1

@@ -1,0 +1,97 @@
+"""Property-based tests for the SQL → CQ(Q) translation invariants."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryError
+from repro.query import ast
+from repro.query.translate import sql_to_conjunctive
+
+from tests.test_parser_properties import random_query
+
+
+def schema_for(query: ast.SelectQuery):
+    """A permissive schema: every table owns every column it is asked for."""
+    columns = defaultdict(set)
+    aliases = {t.alias: t.relation for t in query.tables}
+
+    def note(expr):
+        for ref in ast.column_refs(expr):
+            if ref.table in aliases:
+                columns[aliases[ref.table]].add(ref.column)
+
+    for item in query.select_items:
+        if not isinstance(item.expr, ast.Star):
+            note(item.expr)
+    for predicate in query.predicates:
+        if isinstance(predicate, ast.InList):
+            note(predicate.expr)
+        else:
+            note(predicate.left)
+            note(predicate.right)
+    for column in query.group_by:
+        note(column)
+    # Every relation needs at least one column.
+    return {
+        t.relation: sorted(columns[t.relation]) or ["filler"]
+        for t in query.tables
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(query=random_query())
+def test_translation_invariants(query):
+    schema = schema_for(query)
+    try:
+        tr = sql_to_conjunctive(query, schema)
+    except QueryError:
+        # Legitimately rejected inputs (e.g. same column name landing in
+        # two relations and referenced unqualified) are fine.
+        return
+
+    cq = tr.query
+
+    # One atom per FROM entry, in order, named by alias.
+    assert [a.name for a in cq.atoms] == [t.alias for t in query.tables]
+    assert [a.relation for a in cq.atoms] == [t.relation for t in query.tables]
+
+    # Every output variable occurs in some atom.
+    body_vars = cq.variables
+    assert set(cq.output) <= body_vars
+
+    # Hypergraph vertices are exactly the query variables.
+    hg = cq.hypergraph()
+    assert hg.vertices <= body_vars
+
+    # Every equality class binding refers to an existing alias/column.
+    for variable, bindings in tr.variable_bindings.items():
+        for alias, column in bindings.items():
+            relation = dict((t.alias, t.relation) for t in query.tables)[alias]
+            assert column in schema[relation]
+
+    # Every filter is attached to an alias of the query.
+    aliases = {t.alias for t in query.tables}
+    for alias, filters in tr.atom_filters.items():
+        assert alias in aliases
+
+    # Join conditions produce variables carried by at least two atoms.
+    for predicate in query.predicates:
+        if isinstance(predicate, ast.Comparison) and predicate.is_equijoin:
+            left = tr.resolve_variable(predicate.left)
+            right = tr.resolve_variable(predicate.right)
+            assert left == right  # merged into one equivalence class
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=random_query())
+def test_translation_is_deterministic(query):
+    schema = schema_for(query)
+    try:
+        tr1 = sql_to_conjunctive(query, schema)
+        tr2 = sql_to_conjunctive(query, schema)
+    except QueryError:
+        return
+    assert tr1.query == tr2.query
+    assert tr1.variable_bindings == tr2.variable_bindings

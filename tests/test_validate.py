@@ -1,0 +1,108 @@
+"""Tests for the decomposition diagnostics validator."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.query.builder import ConjunctiveQueryBuilder
+from repro.core.hypertree import Hypertree, make_node
+from repro.core.qhd import q_hypertree_decomp
+from repro.core.validate import validate_decomposition
+
+
+def chain_query(n):
+    builder = ConjunctiveQueryBuilder("chain")
+    for i in range(n):
+        builder.atom(f"p{i}", f"rel{i}", f"V{i}", f"V{(i + 1) % n}")
+    return builder.output("V0").build()
+
+
+@pytest.fixture()
+def triangle():
+    return Hypergraph.from_dict(
+        {"ab": ["A", "B"], "bc": ["B", "C"], "ca": ["C", "A"]}
+    )
+
+
+class TestValidDecompositions:
+    def test_qhd_output_is_clean(self):
+        q = chain_query(6)
+        tree = q_hypertree_decomp(q, 2)
+        report = validate_decomposition(tree, q)
+        assert report.ok, report.render()
+        assert "no violations" in report.render()
+
+    def test_hd_conditions_hold_before_optimize(self):
+        q = chain_query(6)
+        tree = q_hypertree_decomp(q, 2, optimize=False)
+        report = validate_decomposition(tree, q, require_hd_conditions=True)
+        # Atom assignment may append atoms, but χ ⊆ var(λ) still holds
+        # since assignments are covered by χ.
+        assert not report.by_condition("chi-subset-lambda")
+
+
+class TestViolations:
+    def test_uncovered_edge(self, triangle):
+        tree = Hypertree(make_node(["A", "B"], ["ab"]), triangle)
+        report = validate_decomposition(tree)
+        assert len(report.by_condition("edge-coverage")) == 2
+        assert not report.ok
+
+    def test_disconnected_variable(self, triangle):
+        grandchild = make_node(["A", "C"], ["ca"])
+        child = make_node(["B", "C"], ["bc"], children=[grandchild])
+        root = make_node(["A", "B"], ["ab"], children=[child])
+        report = validate_decomposition(Hypertree(root, triangle))
+        assert report.by_condition("connectedness")
+
+    def test_chi_not_in_lambda_flagged_only_in_strict_mode(self, triangle):
+        child = make_node(["B", "C"], ["bc"])
+        root = make_node(["A", "B", "C"], ["ab"], children=[child])
+        tree = Hypertree(root, triangle)
+        assert not validate_decomposition(tree).by_condition("chi-subset-lambda")
+        strict = validate_decomposition(tree, require_hd_conditions=True)
+        assert strict.by_condition("chi-subset-lambda")
+
+    def test_special_descendant_violation(self, triangle):
+        child = make_node(["B", "C"], ["bc"])
+        root = make_node(["A", "B"], ["ab", "ca"], children=[child])
+        report = validate_decomposition(
+            Hypertree(root, triangle), require_hd_conditions=True
+        )
+        assert report.by_condition("special-descendant")
+
+    def test_output_cover_violation(self):
+        q = chain_query(4)
+        tree = q_hypertree_decomp(q, 2)
+        # Pretend the query output were a variable the root lacks.
+        q_bad = q.with_output(["V2"]) if "V2" not in tree.root.chi else q.with_output(["V3"])
+        report = validate_decomposition(tree, q_bad)
+        # Either the root covers it anyway (fine) or we get a finding.
+        if not report.ok:
+            assert report.by_condition("output-cover")
+
+    def test_atom_assignment_violation(self, triangle):
+        q = (
+            ConjunctiveQueryBuilder("t")
+            .atom("ab", "rab", "A", "B")
+            .atom("bc", "rbc", "B", "C")
+            .atom("ca", "rca", "C", "A")
+            .output("A")
+            .build()
+        )
+        child = make_node(["B", "C"], ["bc"])
+        root = make_node(["A", "B", "C"], ["ab"], children=[child])
+        report = validate_decomposition(Hypertree(root, triangle), q)
+        assert report.by_condition("atom-assignment")
+
+    def test_guard_integrity(self, triangle):
+        child = make_node(["B", "C"], ["bc"])
+        other = make_node(["C", "A"], ["ca"])
+        root = make_node(["A", "B"], ["ab"], children=[child])
+        root.guards["ab"] = other  # not a child + atom still in λ
+        report = validate_decomposition(Hypertree(root, triangle))
+        assert len(report.by_condition("guard-integrity")) == 2
+
+    def test_render_lists_conditions(self, triangle):
+        tree = Hypertree(make_node(["A", "B"], ["ab"]), triangle)
+        text = validate_decomposition(tree).render()
+        assert "edge-coverage" in text
