@@ -1,0 +1,69 @@
+"""Serving-layer acceptance benchmarks: plan-cache amortization + parity.
+
+Two claims, per the serving layer's design goals:
+
+1. **Amortization** — over a repeated-template workload (same shapes,
+   varying constants), a warm plan cache reduces total *planning* work by
+   at least 5× versus replanning every query (cold = cache disabled).
+2. **Parity** — an 8-worker concurrent :class:`QueryService` over a mixed
+   TPC-H/synthetic workload returns answers byte-identical to serial
+   execution of the same queries on a stock engine.
+"""
+
+from repro.bench.reporting import render_series_table
+from repro.bench.serving import (
+    instantiate,
+    run_serving_throughput,
+    serving_workload,
+)
+from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+from repro.service.server import QueryService
+
+from .conftest import run_once
+
+
+def test_warm_cache_amortizes_planning_work(benchmark):
+    result = run_once(benchmark, run_serving_throughput, scale="quick")
+    print()
+    print(render_series_table(result, metric="work", point_label="reps"))
+
+    cold = result.series("cold")[-1]
+    warm = result.series("warm")[-1]
+    assert cold.finished and warm.finished
+    # Same workload, same answers.
+    assert cold.answer_rows == warm.answer_rows
+    # The cold service plans every query; the warm one plans one per
+    # template (single-flight coalescing makes this exact, not racy).
+    assert warm.extra["plans_built"] == 4
+    assert cold.extra["plans_built"] == warm.extra["queries"]
+    # The acceptance bar: ≥5× less planning work with a warm cache.
+    assert warm.work > 0
+    assert warm.work * 5 <= cold.work
+
+
+def test_concurrent_service_matches_serial_execution(benchmark):
+    database, templates = serving_workload("quick", seed=11)
+    queries = instantiate(templates, repetitions=4)
+
+    serial_engine = SimulatedDBMS(database, COMMDB_PROFILE)
+    serial = [serial_engine.run_sql(sql) for sql in queries]
+
+    def concurrent_run():
+        with QueryService(
+            SimulatedDBMS(database, COMMDB_PROFILE),
+            max_width=3,
+            workers=8,
+            queue_capacity=64,
+        ) as service:
+            return service.run_all(queries)
+
+    concurrent = run_once(benchmark, concurrent_run)
+
+    assert len(concurrent) == len(serial) == len(queries)
+    for mine, theirs in zip(concurrent, serial):
+        assert mine.finished and theirs.finished
+        # Byte-identical answers: same attributes, same tuple multiset.
+        assert mine.relation.attributes == theirs.relation.attributes
+        assert sorted(map(repr, mine.relation.tuples)) == sorted(
+            map(repr, theirs.relation.tuples)
+        )

@@ -44,8 +44,10 @@ from repro.core import (
     q_hypertree_decomp,
 )
 from repro.engine import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
+from repro.errors import ServiceClosed, ServiceError, ServiceOverloaded
+from repro.service import PlanCache, QueryService, ServiceMetrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -78,5 +80,11 @@ __all__ = [
     "SimulatedDBMS",
     "COMMDB_PROFILE",
     "POSTGRES_PROFILE",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceClosed",
+    "QueryService",
+    "PlanCache",
+    "ServiceMetrics",
     "__version__",
 ]

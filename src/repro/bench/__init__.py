@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     run_fig10,
     run_overhead,
 )
+from repro.bench.serving import run_serving_throughput, serving_workload
 
 __all__ = [
     "RunRecord",
@@ -45,4 +46,6 @@ __all__ = [
     "run_fig9",
     "run_fig10",
     "run_overhead",
+    "run_serving_throughput",
+    "serving_workload",
 ]

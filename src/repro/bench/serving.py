@@ -1,0 +1,152 @@
+"""Serving-layer benchmark: repeated-template throughput, cold vs warm.
+
+The paper's §6.1 economics: the structural plan costs milliseconds,
+independent of data size.  The serving layer pushes that one step further —
+the plan is built once per *template* and amortized across every repetition
+(parameter changes, alias renamings).  This experiment measures exactly
+that amortization:
+
+* **cold** — a service with plan caching disabled replans every query;
+* **warm** — an identical service with the cache enabled plans each
+  template once and serves the rest from the cache.
+
+Both run the same mixed workload (TPC-H joins + synthetic chain templates,
+with per-repetition parameter variation) over the same pool, and the
+planning effort is the deterministic ``"plan"`` work-unit count of the
+cost-k-decomp search — machine-independent, like every other figure here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.bench.harness import ExperimentResult, RunRecord
+from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+from repro.relational.database import Database
+from repro.service.server import QueryService
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_database
+from repro.workloads.tpch import generate_tpch_database
+
+
+def serving_workload(
+    scale: str = "quick", seed: int = 7
+) -> Tuple[Database, List[str]]:
+    """A mixed database and query-template set for serving benchmarks.
+
+    The database holds the synthetic chain relations *and* a small TPC-H
+    nation/region/supplier slice side by side; the templates join across
+    widths 1–2 so both the acyclic and the cyclic planner paths serve.
+    """
+    n_atoms = 4 if scale == "quick" else 6
+    config = SyntheticConfig(
+        n_atoms=n_atoms, cardinality=120, selectivity=60, cyclic=True, seed=seed
+    )
+    database = generate_synthetic_database(config)
+
+    tpch = generate_tpch_database(size_mb=2.0, seed=seed, analyze=False)
+    for name in ("region", "nation", "supplier", "customer"):
+        database.create_table(tpch.schema.relation(name), tpch.table(name).tuples)
+    database.analyze()
+
+    tables = ", ".join(f"rel{i}" for i in range(n_atoms))
+    chain_conditions = " AND ".join(
+        [f"rel{i}.y{i} = rel{i + 1}.x{i + 1}" for i in range(n_atoms - 1)]
+        + [f"rel{n_atoms - 1}.y{n_atoms - 1} = rel0.x0"]
+    )
+    templates = [
+        # Cyclic chain with a parameter slot (template 1).
+        f"SELECT rel0.x0, rel0.y0 FROM {tables} "
+        f"WHERE {chain_conditions} AND rel0.x0 < {{p}}",
+        # TPC-H star slice over nation/region (template 2).
+        "SELECT n_name, r_name FROM nation, region "
+        "WHERE n_regionkey = r_regionkey AND n_nationkey < {p}",
+        # Three-way TPC-H join (template 3).
+        "SELECT s_name, n_name FROM supplier, nation, region "
+        "WHERE s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        "AND s_suppkey < {p}",
+        # Customer-nation join with a filter (template 4).
+        "SELECT c_name, n_name FROM customer, nation "
+        "WHERE c_nationkey = n_nationkey AND c_custkey < {p}",
+    ]
+    return database, templates
+
+
+def instantiate(templates: Sequence[str], repetitions: int) -> List[str]:
+    """Expand templates × repetitions with varying parameters.
+
+    Every repetition binds a different constant, so a cache keyed on query
+    *text* would miss — only template-level fingerprints amortize.
+    """
+    queries: List[str] = []
+    for rep in range(repetitions):
+        for template in templates:
+            queries.append(template.format(p=10 + 3 * rep))
+    return queries
+
+
+def run_serving_throughput(
+    scale: str = "quick",
+    seed: int = 7,
+    workers: int = 8,
+    repetitions: int = 0,
+) -> ExperimentResult:
+    """Cold vs warm repeated-template serving over a mixed workload.
+
+    One record per (system, repetition-batch): ``work`` is the *planning*
+    work of that batch (the quantity the cache amortizes); wall-clock
+    throughput and cache counters ride along in ``extra``.
+    """
+    repetitions = repetitions or (8 if scale == "quick" else 20)
+    database, templates = serving_workload(scale, seed)
+    result = ExperimentResult(
+        experiment_id="serving",
+        title="Serving throughput — plan cache cold vs warm "
+        f"({len(templates)} templates × {repetitions} repetitions)",
+    )
+
+    for system, cache_capacity in (("cold", 0), ("warm", 128)):
+        service = QueryService(
+            SimulatedDBMS(database, COMMDB_PROFILE),
+            max_width=3,
+            workers=workers,
+            queue_capacity=max(32, workers * 4),
+            cache_capacity=cache_capacity,
+        )
+        try:
+            queries = instantiate(templates, repetitions)
+            started = time.perf_counter()
+            answers = service.run_all(queries)
+            elapsed = time.perf_counter() - started
+            snapshot = service.snapshot()
+            planning = snapshot["planning"]
+            result.add(
+                RunRecord(
+                    system=system,
+                    point=repetitions,
+                    work=planning["work_units"],
+                    simulated_seconds=planning["seconds"],
+                    elapsed_seconds=elapsed,
+                    finished=all(answer.finished for answer in answers),
+                    answer_rows=sum(
+                        len(answer.relation)
+                        for answer in answers
+                        if answer.relation is not None
+                    ),
+                    extra={
+                        "plans_built": planning["built"],
+                        "cache_hits": planning["cache_hits"],
+                        "queries": len(queries),
+                        "throughput_qps": round(len(queries) / elapsed, 1),
+                    },
+                )
+            )
+        finally:
+            service.close()
+    cold = result.record_for("cold", repetitions)
+    warm = result.record_for("warm", repetitions)
+    if cold is not None and warm is not None and warm.work:
+        result.notes.append(
+            f"planning-work amortization: {cold.work / warm.work:.1f}×"
+        )
+    return result

@@ -8,7 +8,12 @@ Subcommands:
   configured system and print the comparison;
 * ``experiment`` — reproduce a paper figure (fig7a…fig10, overhead) and
   print its series table;
-* ``explain`` — show the engine join plan vs the decomposition plan.
+* ``explain`` — show the engine join plan vs the decomposition plan;
+* ``serve`` — run queries (stdin, one per line) through a concurrent
+  :class:`~repro.service.server.QueryService` and print per-query results
+  plus the serving metrics snapshot;
+* ``bench-serve`` — the repeated-template serving benchmark (plan cache
+  cold vs warm).
 """
 
 from __future__ import annotations
@@ -133,6 +138,89 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve queries read from stdin (one per line) through a QueryService.
+
+    Lines are TPC-H query names (``q5``) or inline SQL; blank lines and
+    ``#`` comments are skipped.  Repeated templates exercise the plan
+    cache — the point of the serving layer.
+    """
+    from repro.service.metrics import render_snapshot
+    from repro.service.server import QueryService
+
+    database = generate_tpch_database(
+        size_mb=args.size_mb, seed=args.seed, analyze=True
+    )
+    queries: List[str] = []
+    for line in sys.stdin:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        queries.append(TPCH_QUERIES[text]() if text in TPCH_QUERIES else text)
+    if not queries:
+        print("no queries on stdin", file=sys.stderr)
+        return 1
+
+    service = QueryService(
+        SimulatedDBMS(database, COMMDB_PROFILE),
+        max_width=args.width,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+        work_budget=args.budget,
+    )
+    exit_code = 0
+    try:
+        print(f"{'#':>3} {'optimizer':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
+        outcomes = service.run_all(queries, return_exceptions=True)
+        for index, result in enumerate(outcomes, 1):
+            if isinstance(result, Exception):
+                print(f"{index:>3} error: {result}")
+                exit_code = 2
+                continue
+            work = str(result.work) if result.finished else "DNF"
+            count = str(len(result.relation)) if result.relation is not None else "-"
+            print(
+                f"{index:>3} {result.optimizer:<16} {work:>12} "
+                f"{count:>8} {result.elapsed_seconds:>9.3f}"
+            )
+            if not result.finished:
+                exit_code = 2
+        print()
+        print(render_snapshot(service.snapshot()))
+    finally:
+        service.close()
+    return exit_code
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serving import run_serving_throughput
+
+    result = run_serving_throughput(
+        scale=args.scale, workers=args.workers, repetitions=args.repetitions
+    )
+    print(render_series_table(result, metric="work", point_label="repetitions"))
+    cold = result.series("cold")[-1]
+    warm = result.series("warm")[-1]
+    print()
+    print(
+        f"planning work: cold={cold.work}  warm={warm.work}  "
+        f"({cold.work / warm.work:.1f}× amortization)"
+        if warm.work
+        else f"planning work: cold={cold.work}  warm={warm.work}"
+    )
+    print(
+        f"plans built:   cold={cold.extra['plans_built']}  "
+        f"warm={warm.extra['plans_built']} "
+        f"(+{warm.extra['cache_hits']} cache hits)"
+    )
+    print(
+        f"throughput:    cold={cold.extra['throughput_qps']} q/s  "
+        f"warm={warm.extra['throughput_qps']} q/s"
+    )
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
     sql = _query_text(args)
@@ -194,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--chart", action="store_true", help="ASCII line chart")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve queries from stdin through a concurrent QueryService",
+    )
+    p.add_argument("--size-mb", type=float, default=100.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--width", type=int, default=4, help="width bound k")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--queue-capacity", type=int, default=32)
+    p.add_argument("--cache-capacity", type=int, default=128)
+    p.add_argument(
+        "--budget", type=int, default=None, help="per-query work budget"
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="repeated-template serving benchmark (plan cache cold vs warm)",
+    )
+    p.add_argument("--scale", choices=["quick", "full"], default="quick")
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument(
+        "--repetitions", type=int, default=0, help="0 = scale default"
+    )
+    p.set_defaults(func=cmd_bench_serve)
     return parser
 
 

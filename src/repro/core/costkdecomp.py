@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import DecompositionError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.metering import NULL_METER, WorkMeter
 from repro.core.costmodel import DecompositionCostModel, JoinEstimate
 from repro.core.detkdecomp import _candidate_separators, _split
 from repro.core.hypertree import Hypertree, HypertreeNode
@@ -47,6 +48,7 @@ class CostKDecomp:
         cost_model: DecompositionCostModel,
         output_weight: float = 0.0,
         output_variables: Iterable[str] = (),
+        meter: WorkMeter = NULL_METER,
     ):
         """Args:
             output_weight: weight of the *aggregation term* — the paper's
@@ -57,6 +59,10 @@ class CostKDecomp:
                 and GROUP BY over the answer.
             output_variables: out(Q); the answer estimate is the root
                 relation projected onto these.
+            meter: charged one ``"plan"`` work unit per candidate separator
+                evaluated — a deterministic, machine-independent measure of
+                planning effort (the serving layer's cache-hit benchmark
+                compares it cold vs warm).
         """
         if k < 1:
             raise DecompositionError("width bound k must be at least 1")
@@ -65,6 +71,7 @@ class CostKDecomp:
         self.cost_model = cost_model
         self.output_weight = output_weight
         self.output_variables = frozenset(output_variables)
+        self.meter = meter
         self.atom_variables: Dict[str, FrozenSet[str]] = {
             edge.name: edge.vertices for edge in hypergraph
         }
@@ -125,6 +132,7 @@ class CostKDecomp:
         for lam in _candidate_separators(
             self.hypergraph, component, connector, self.k
         ):
+            self.meter.charge(1, "plan")
             lam_vars = self.hypergraph.variables_of(lam)
             chi = lam_vars & (connector | component_vars)
             pieces = _split(self.hypergraph, component, chi)
@@ -190,6 +198,7 @@ def cost_k_decomp(
     cost_model: DecompositionCostModel,
     required_root_cover: Iterable[str] = (),
     output_weight: float = 0.0,
+    meter: WorkMeter = NULL_METER,
 ) -> Optional[Tuple[Hypertree, float]]:
     """Find the cheapest width-≤k hypertree decomposition under a cost model.
 
@@ -202,6 +211,7 @@ def cost_k_decomp(
         required_root_cover: variables the root χ must contain (out(Q)).
         output_weight: aggregate-term weight (the paper's future-work
             extension); > 0 charges the estimated answer size at the root.
+        meter: charged ``"plan"`` work units, one per candidate separator.
 
     Returns:
         ``(hypertree, estimated_cost)`` or None.
@@ -212,5 +222,6 @@ def cost_k_decomp(
         cost_model,
         output_weight=output_weight,
         output_variables=required_root_cover,
+        meter=meter,
     )
     return search.decompose(required_root_cover)

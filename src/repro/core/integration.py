@@ -12,11 +12,24 @@ Here the same is achieved through
 the hybrid optimizer — completely transparently to the caller — with an
 optional fallback to the built-in planner when no width-≤k decomposition
 covers the output variables.
+
+Two serving-layer amortizations live in the installed handler:
+
+* the **cost model** built by :func:`cost_model_from_database` is cached
+  per (statistics version, query text) — repeated runs of the same query
+  reuse it instead of re-reading the statistics catalog;
+* with a ``plan_cache``, the completed decomposition itself is cached
+  under a canonical template fingerprint, so isomorphic repetitions (same
+  shape, different constants or aliases) skip the cost-k-decomp search
+  entirely.  Failures are cached too: a template known to have no width-≤k
+  decomposition goes straight to the built-in fallback.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import threading
+import time
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import DecompositionNotFound
 from repro.engine.dbms import OptimizerHandler, SimulatedDBMS
@@ -24,9 +37,16 @@ from repro.engine.scans import atom_relations
 from repro.metering import WorkMeter
 from repro.query.translate import TranslationResult
 from repro.relational.relation import Relation
+from repro.core.costmodel import DecompositionCostModel
 from repro.core.evaluator import QHDEvaluator
 from repro.core.optimizer import cost_model_from_database
 from repro.core.qhd import q_hypertree_decomp
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.service.metrics import ServiceMetrics
+    from repro.service.plancache import PlanCache
+
+_MODEL_CACHE_LIMIT = 256
 
 
 def install_structural_optimizer(
@@ -34,6 +54,8 @@ def install_structural_optimizer(
     max_width: int = 4,
     fallback_to_builtin: bool = True,
     optimize: bool = True,
+    plan_cache: "Optional[PlanCache]" = None,
+    metrics: "Optional[ServiceMetrics]" = None,
 ) -> OptimizerHandler:
     """Replace the engine's optimizer handler with the structural pipeline.
 
@@ -44,28 +66,151 @@ def install_structural_optimizer(
             the query back to the built-in quantitative planner instead of
             failing (what a production coupling must do).
         optimize: run Procedure Optimize (disable for the Fig. 10 ablation).
+        plan_cache: a :class:`repro.service.plancache.PlanCache`; when set,
+            completed decompositions (and known failures) are cached under
+            canonical template fingerprints and invalidated by statistics
+            version.
+        metrics: a :class:`repro.service.metrics.ServiceMetrics` receiving
+            one planning event per handled query.
 
     Returns:
         The installed handler (also retained on the DBMS); call
         ``dbms.set_optimizer_handler(None)`` to uninstall.
     """
+    # Cost models are pure functions of (statistics version, query); cache
+    # them so a repeated query re-reads the statistics catalog zero times.
+    model_cache: dict = {}
+    model_lock = threading.Lock()
+
+    def _model_for(
+        engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool
+    ) -> DecompositionCostModel:
+        version = engine.database.stats_version
+        key = (
+            version,
+            use_stats,
+            str(translation.query),
+            tuple(
+                (alias, tuple(str(f) for f in filters))
+                for alias, filters in sorted(translation.atom_filters.items())
+            ),
+        )
+        with model_lock:
+            model = model_cache.get(key)
+            if model is not None:
+                return model
+        model = cost_model_from_database(translation, engine.database, use_stats)
+        with model_lock:
+            # A statistics refresh orphans every older-version entry; purge
+            # them (and cap growth) instead of letting them accumulate.
+            stale = [k for k in model_cache if k[0] != version]
+            if stale or len(model_cache) >= _MODEL_CACHE_LIMIT:
+                for k in stale or list(model_cache):
+                    del model_cache[k]
+            model_cache[key] = model
+        return model
+
+    def _structural_plan(
+        engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool
+    ):
+        """The decomposition for this query: cached, renamed, or fresh.
+
+        Returns ``(decomposition_or_None, cache_hit, plan_units, seconds)``
+        where ``None`` means "no width-≤k decomposition exists".
+        """
+        from repro.service.fingerprint import (
+            fingerprint_translation,
+            rename_hypertree,
+            schema_digest,
+        )
+
+        started = time.perf_counter()
+        stats_version = engine.database.stats_version
+
+        def build_fresh(fingerprint=None):
+            plan_meter = WorkMeter()
+            model = _model_for(engine, translation, use_stats)
+            try:
+                decomposition = q_hypertree_decomp(
+                    translation.query,
+                    max_width,
+                    cost_model=model,
+                    optimize=optimize,
+                    meter=plan_meter,
+                )
+            except DecompositionNotFound:
+                if plan_cache is not None and fingerprint is not None:
+                    plan_cache.store(fingerprint, None, stats_version)
+                raise
+            if plan_cache is not None and fingerprint is not None:
+                canonical = rename_hypertree(
+                    decomposition, fingerprint.var_map, fingerprint.atom_map
+                )
+                plan_cache.store(fingerprint, canonical, stats_version)
+            return (
+                decomposition,
+                False,
+                plan_meter.total,
+                time.perf_counter() - started,
+            )
+
+        if plan_cache is None or plan_cache.capacity == 0:
+            # capacity 0 = caching disabled: skip fingerprinting and
+            # single-flight coalescing, plan every query independently.
+            return build_fresh()
+
+        context = (
+            f"schema={schema_digest(engine.database)};k={max_width};"
+            f"opt={optimize};stats={use_stats}"
+        )
+        fingerprint = fingerprint_translation(translation, context=context)
+        entry = plan_cache.lookup(fingerprint, stats_version)
+        if entry is None:
+            # Single-flight: concurrent misses on one template coalesce —
+            # the first holder builds and stores, the rest re-check and hit.
+            with plan_cache.build_lock(fingerprint.key):
+                entry = plan_cache.lookup(fingerprint, stats_version)
+                if entry is None:
+                    return build_fresh(fingerprint)
+        if entry.failure:
+            raise DecompositionNotFound(
+                f"cached: no width-≤{max_width} decomposition for "
+                "this template",
+                width=max_width,
+            )
+        decomposition = rename_hypertree(
+            entry.tree,
+            fingerprint.inverse_var_map(),
+            fingerprint.inverse_atom_map(),
+            hypergraph=translation.query.hypergraph(),
+        )
+        return decomposition, True, 0, time.perf_counter() - started
 
     def handler(
         engine: SimulatedDBMS, translation: TranslationResult, meter: WorkMeter
-    ) -> Tuple[Relation, str]:
+    ) -> Tuple[Relation, str, str]:
         use_stats = engine.database.has_statistics()
-        model = cost_model_from_database(translation, engine.database, use_stats)
         try:
-            decomposition = q_hypertree_decomp(
-                translation.query, max_width, cost_model=model, optimize=optimize
+            decomposition, cache_hit, plan_units, plan_seconds = (
+                _structural_plan(engine, translation, use_stats)
             )
         except DecompositionNotFound:
+            if metrics is not None:
+                metrics.record_plan(cache_hit=False, fallback=True)
             if not fallback_to_builtin:
                 raise
             answer, plan_text, label = engine.plan_and_join(
                 translation, meter, use_stats, optimizer_enabled=True
             )
-            return answer, f"(builtin fallback: {label})\n{plan_text}"
+            return (
+                answer,
+                f"(builtin fallback: {label})\n{plan_text}",
+                "builtin-fallback",
+            )
+        if metrics is not None:
+            metrics.record_plan(
+                cache_hit=cache_hit, units=plan_units, seconds=plan_seconds
+            )
         base = atom_relations(
             translation.query, engine.database, translation, meter
         )
@@ -73,7 +218,8 @@ def install_structural_optimizer(
             decomposition, translation.query, meter, spill=engine.spill_model
         )
         answer = evaluator.evaluate(base)
-        return answer, decomposition.render()
+        label = "q-hd(cached)" if cache_hit else "q-hd"
+        return answer, decomposition.render(), label
 
     dbms.set_optimizer_handler(handler)
     return handler

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import DecompositionError, DecompositionNotFound
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.metering import NULL_METER, WorkMeter
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.core.costkdecomp import cost_k_decomp
 from repro.core.costmodel import DecompositionCostModel
@@ -134,6 +135,7 @@ def q_hypertree_decomp(
     cost_model: Optional[DecompositionCostModel] = None,
     optimize: bool = True,
     output_weight: float = 0.0,
+    meter: WorkMeter = NULL_METER,
 ) -> Hypertree:
     """Algorithm q-HypertreeDecomp: a *good* q-hypertree decomposition of Q.
 
@@ -146,6 +148,9 @@ def q_hypertree_decomp(
             impact — the paper's Fig. 10 ablation.
         output_weight: weight of the aggregate term in the cost model (the
             paper's future-work extension; 0 disables it).
+        meter: charged ``"plan"`` work units by the cost-k-decomp search —
+            the deterministic planning-effort measure the serving layer's
+            plan cache amortizes.
 
     Returns:
         A rooted :class:`Hypertree` whose root χ covers out(Q), with every
@@ -167,6 +172,7 @@ def q_hypertree_decomp(
         model,
         required_root_cover=query.output_variables,
         output_weight=output_weight,
+        meter=meter,
     )
     if result is None:
         raise DecompositionNotFound(

@@ -40,7 +40,9 @@ from repro.relational.relation import Relation
 
 # An optimizer handler receives the DBMS, the translated query and the run's
 # meter, and returns the conjunctive answer (variables covering out(Q)) plus
-# a plan description for EXPLAIN.
+# a plan description for EXPLAIN — optionally with a third element naming
+# the planner that produced the plan ("q-hd", "q-hd(cached)",
+# "builtin-fallback"); two-element returns keep the legacy "q-hd" label.
 OptimizerHandler = Callable[
     ["SimulatedDBMS", TranslationResult, WorkMeter], Tuple[Relation, str]
 ]
@@ -247,8 +249,13 @@ class SimulatedDBMS:
         self, translation: TranslationResult, meter: WorkMeter, started: float
     ) -> DBMSResult:
         assert self.optimizer_handler is not None
+        label = "q-hd"
         try:
-            answer, plan_text = self.optimizer_handler(self, translation, meter)
+            outcome = self.optimizer_handler(self, translation, meter)
+            if len(outcome) == 3:
+                answer, plan_text, label = outcome
+            else:
+                answer, plan_text = outcome
             final = apply_sql_semantics(answer, translation, meter)
             finished = True
         except WorkBudgetExceeded:
@@ -264,7 +271,7 @@ class SimulatedDBMS:
             plan_text=plan_text,
             finished=finished,
             used_statistics=self.database.has_statistics(),
-            optimizer="q-hd",
+            optimizer=label,
         )
 
     def plan_and_join(

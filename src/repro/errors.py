@@ -76,3 +76,26 @@ class DecompositionNotFound(DecompositionError):
 
 class OptimizationError(ReproError):
     """The quantitative optimizer could not produce a plan."""
+
+
+class ServiceError(ReproError):
+    """A failure in the concurrent query-serving layer."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected a query: the service queue is full.
+
+    Carries the saturation details so a client can implement backpressure
+    (retry with jitter, shed load, or route elsewhere).
+    """
+
+    def __init__(self, queued: int, capacity: int):
+        super().__init__(
+            f"service overloaded: {queued} queries queued, capacity {capacity}"
+        )
+        self.queued = queued
+        self.capacity = capacity
+
+
+class ServiceClosed(ServiceError):
+    """A query was submitted to a service that has been shut down."""

@@ -14,6 +14,7 @@ harness records such runs as *did-not-finish*, mirroring the paper's
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Optional
 
@@ -22,6 +23,10 @@ from repro.errors import WorkBudgetExceeded
 
 class WorkMeter:
     """Accumulates work units, optionally enforcing a budget.
+
+    Charging is thread-safe: one meter may be shared by operators running on
+    several pool workers (the serving layer's concurrent executions), and the
+    total is exact — no increments are lost to interleaving.
 
     Args:
         budget: maximum number of work units allowed; ``None`` = unlimited.
@@ -37,19 +42,22 @@ class WorkMeter:
         self.budget = budget
         self.total = 0
         self.by_category: Dict[str, int] = {}
+        self._lock = threading.Lock()
         self._started = time.perf_counter()
 
     def charge(self, units: int, category: str = "other") -> None:
         """Charge ``units`` work units; raises on budget exhaustion."""
         if units < 0:
             raise ValueError("cannot charge negative work")
-        self.total += units
-        if category in self.by_category:
-            self.by_category[category] += units
-        else:
-            self.by_category[category] = units
-        if self.budget is not None and self.total > self.budget:
-            raise WorkBudgetExceeded(self.budget, self.total)
+        with self._lock:
+            self.total += units
+            if category in self.by_category:
+                self.by_category[category] += units
+            else:
+                self.by_category[category] = units
+            total = self.total
+        if self.budget is not None and total > self.budget:
+            raise WorkBudgetExceeded(self.budget, total)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -58,8 +66,9 @@ class WorkMeter:
 
     def snapshot(self) -> Dict[str, int]:
         """A copy of the per-category breakdown, plus the total."""
-        result = dict(self.by_category)
-        result["total"] = self.total
+        with self._lock:
+            result = dict(self.by_category)
+            result["total"] = self.total
         return result
 
     def __repr__(self) -> str:

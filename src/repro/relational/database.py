@@ -120,6 +120,15 @@ class Database:
     def stats_for(self, relation: str) -> Optional[TableStatistics]:
         return self.statistics.get(relation)
 
+    @property
+    def stats_version(self) -> int:
+        """The statistics catalog's mutation counter.
+
+        Plan and cost-model caches key on this: re-running ANALYZE bumps it,
+        so entries built under stale statistics are lazily evicted.
+        """
+        return self.statistics.version
+
     def has_statistics(self) -> bool:
         """True when every stored relation has statistics."""
         return all(name in self.statistics for name in self._tables)

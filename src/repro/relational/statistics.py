@@ -117,13 +117,22 @@ class StatisticsCatalog:
     Maps relation name → :class:`TableStatistics`.  The stand-alone
     optimizer mode lets the user supply these by hand; the tight coupling
     fills them via :meth:`analyze_database`.
+
+    Attributes:
+        version: monotonically increasing counter, bumped on every mutation
+            (``put``, ``clear``).  Consumers that cache statistics-derived
+            artifacts — the serving layer's plan cache, the tight coupling's
+            cost-model cache — key on this version so an ANALYZE refresh
+            lazily invalidates them.
     """
 
     def __init__(self) -> None:
         self._tables: Dict[str, TableStatistics] = {}
+        self.version = 0
 
     def put(self, stats: TableStatistics) -> None:
         self._tables[stats.relation.lower()] = stats
+        self.version += 1
 
     def get(self, relation: str) -> Optional[TableStatistics]:
         return self._tables.get(relation.lower())
@@ -142,6 +151,7 @@ class StatisticsCatalog:
 
     def clear(self) -> None:
         self._tables.clear()
+        self.version += 1
 
     def put_manual(
         self,

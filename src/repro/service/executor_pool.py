@@ -1,0 +1,144 @@
+"""A bounded worker pool with admission control.
+
+``concurrent.futures.ThreadPoolExecutor`` queues without bound — exactly
+what a serving layer must not do: under sustained overload an unbounded
+queue converts every client into an eventual timeout.  :class:`ExecutorPool`
+keeps the stdlib :class:`~concurrent.futures.Future` contract but feeds the
+workers from a *bounded* queue; when it is full, :meth:`submit` fails fast
+with :class:`~repro.errors.ServiceOverloaded` so the caller can shed load or
+retry with backoff (backpressure instead of collapse).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceClosed, ServiceOverloaded
+
+_SENTINEL = object()
+
+
+class ExecutorPool:
+    """Fixed worker threads over a bounded run queue.
+
+    Args:
+        workers: number of worker threads.
+        queue_capacity: maximum *waiting* tasks (running tasks excluded);
+            a submit beyond it raises :class:`ServiceOverloaded`.
+        name: thread-name prefix (shows up in debugger/py-spy output).
+    """
+
+    def __init__(
+        self, workers: int = 4, queue_capacity: int = 32, name: str = "hdqo"
+    ):
+        if workers < 1:
+            raise ValueError("the pool needs at least one worker")
+        if queue_capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.queue_capacity = queue_capacity
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._active = 0
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"{name}-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, fn: Callable, *args, **kwargs) -> "Future":
+        """Enqueue a call; rejects instead of blocking when saturated.
+
+        Raises:
+            ServiceOverloaded: the waiting queue is at capacity.
+            ServiceClosed: the pool has been shut down.
+        """
+        if self._shutdown:
+            raise ServiceClosed("executor pool is shut down")
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((future, fn, args, kwargs))
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            raise ServiceOverloaded(
+                queued=self._queue.qsize(), capacity=self.queue_capacity
+            ) from None
+        with self._lock:
+            self.submitted += 1
+        return future
+
+    def submit_blocking(self, fn: Callable, *args, **kwargs) -> "Future":
+        """Enqueue a call, *waiting* for queue room (benchmark drivers)."""
+        if self._shutdown:
+            raise ServiceClosed("executor pool is shut down")
+        future: Future = Future()
+        self._queue.put((future, fn, args, kwargs))
+        with self._lock:
+            self.submitted += 1
+        return future
+
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            future, fn, args, kwargs = item  # type: ignore[misc]
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            with self._lock:
+                self._active += 1
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # delivered through the future
+                future.set_exception(exc)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    self.completed += 1
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally join the workers."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "workers": len(self._threads),
+                "active": self._active,
+                "queued": self._queue.qsize(),
+                "queue_capacity": self.queue_capacity,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+            }
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -1,0 +1,165 @@
+"""Serving-layer metrics: latency, work units, planning effort, cache hits.
+
+Every counter is guarded by one lock — the recording paths are called from
+pool workers concurrently.  :meth:`ServiceMetrics.snapshot` returns a plain
+nested dict, the stable surface the CLI (``hdqo serve`` / ``bench-serve``),
+``repro.bench.serving`` and the tests consume.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class LatencyStat:
+    """Streaming summary of a duration/size distribution (no samples kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.minimum, 6) if self.count else 0.0,
+            "max": round(self.maximum, 6),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters for a :class:`~repro.service.server.QueryService`.
+
+    Three families:
+
+    * **queries** — completed / did-not-finish / errored / rejected, with a
+      wall-clock latency summary and total work units executed;
+    * **planning** — structural plans built fresh vs served from the plan
+      cache vs degraded to the built-in planner, with the deterministic
+      ``"plan"`` work-unit effort and planning wall time;
+    * **cache** — merged in from :meth:`PlanCache.snapshot` by the service.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.finished = 0
+        self.dnf = 0
+        self.errors = 0
+        self.rejected = 0
+        self.work_units = 0
+        self.latency = LatencyStat()
+        self.plans_built = 0
+        self.plans_cached = 0
+        self.plan_fallbacks = 0
+        self.planning_units = 0
+        self.planning_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def record_query(
+        self, *, finished: bool, work: int, seconds: float
+    ) -> None:
+        with self._lock:
+            self.queries += 1
+            if finished:
+                self.finished += 1
+            else:
+                self.dnf += 1
+            self.work_units += work
+            self.latency.observe(seconds)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.queries += 1
+            self.errors += 1
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_plan(
+        self,
+        *,
+        cache_hit: bool,
+        units: int = 0,
+        seconds: float = 0.0,
+        fallback: bool = False,
+    ) -> None:
+        """One planning event from the structural optimizer handler.
+
+        Args:
+            cache_hit: the decomposition came from the plan cache.
+            units: deterministic ``"plan"`` work units spent by the
+                cost-k-decomp search (0 on a hit).
+            seconds: wall-clock planning time (fingerprint + search/rename).
+            fallback: the query degraded to the built-in planner.
+        """
+        with self._lock:
+            if cache_hit:
+                self.plans_cached += 1
+            else:
+                self.plans_built += 1
+            if fallback:
+                self.plan_fallbacks += 1
+            self.planning_units += units
+            self.planning_seconds += seconds
+
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self, cache: Optional[Dict[str, float]] = None
+    ) -> Dict[str, object]:
+        """A nested dict of every counter; pass the plan cache's snapshot
+        to merge it under the ``"cache"`` key."""
+        with self._lock:
+            data: Dict[str, object] = {
+                "queries": {
+                    "submitted": self.queries,
+                    "finished": self.finished,
+                    "dnf": self.dnf,
+                    "errors": self.errors,
+                    "rejected": self.rejected,
+                    "work_units": self.work_units,
+                },
+                "latency_seconds": self.latency.snapshot(),
+                "planning": {
+                    "built": self.plans_built,
+                    "cache_hits": self.plans_cached,
+                    "fallbacks": self.plan_fallbacks,
+                    "work_units": self.planning_units,
+                    "seconds": round(self.planning_seconds, 6),
+                },
+            }
+        if cache is not None:
+            data["cache"] = cache
+        return data
+
+
+def render_snapshot(snapshot: Dict[str, object], indent: str = "") -> str:
+    """Human-readable multi-line rendering of a metrics snapshot."""
+    lines = []
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            lines.append(f"{indent}{key}:")
+            lines.append(render_snapshot(value, indent + "  "))
+        else:
+            lines.append(f"{indent}{key}: {value}")
+    return "\n".join(lines)

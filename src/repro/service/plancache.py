@@ -1,0 +1,238 @@
+"""A thread-safe structural plan cache: LRU + TTL + statistics versioning.
+
+Maps :class:`~repro.service.fingerprint.QueryFingerprint` keys to completed
+q-hypertree decompositions stored in *canonical* names (so one entry serves
+every isomorphic renaming of a template).  Following the succinct-structure
+caching argument (Jiang et al., PAPERS.md), the cache amortizes the
+cost-k-decomp search across repeated templates; what remains per query is a
+fingerprint (microseconds) plus a rename.
+
+Invalidation is layered:
+
+* **LRU** — bounded capacity, least-recently-used entry evicted on insert;
+* **TTL** — entries older than ``ttl_seconds`` are evicted lazily on access
+  and eagerly by :meth:`PlanCache.sweep`;
+* **statistics version** — every entry records the
+  :attr:`~repro.relational.database.Database.stats_version` it was built
+  under; an ANALYZE refresh bumps the version and the next lookup lazily
+  evicts the stale entry (counted as an *invalidation*, not a plain miss).
+
+Negative results are cached too: a template for which no width-≤k
+decomposition exists would otherwise re-run the full failing search on
+every repetition before falling back to the built-in planner.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.hypertree import Hypertree
+from repro.service.fingerprint import QueryFingerprint
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: a canonical decomposition (or a cached failure).
+
+    Attributes:
+        text: the canonical template text; compared on lookup so two
+            templates sharing a digest can never serve each other's plans.
+        tree: the decomposition in canonical names; ``None`` caches the
+            *absence* of a width-≤k decomposition (the fallback path).
+        stats_version: statistics version the plan was costed under.
+        created: monotonic creation timestamp (drives TTL).
+        hits: number of times this entry was served.
+    """
+
+    text: str
+    tree: Optional[Hypertree]
+    stats_version: int
+    created: float
+    hits: int = 0
+
+    @property
+    def failure(self) -> bool:
+        """True when this entry caches ``DecompositionNotFound``."""
+        return self.tree is None
+
+
+@dataclass
+class CacheStats:
+    """Monotonic cache counters; snapshot for the metrics layer."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions_lru: int = 0
+    evictions_ttl: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions_lru": self.evictions_lru,
+            "evictions_ttl": self.evictions_ttl,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU+TTL cache of canonical structural plans.
+
+    Args:
+        capacity: maximum entries; 0 disables caching entirely (every
+            lookup misses, every store is dropped) — the serving layer's
+            "cold" baseline.
+        ttl_seconds: entry lifetime; ``None`` = no expiry.
+        clock: injectable monotonic clock (tests freeze time with it).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._build_locks: Dict[str, threading.Lock] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def build_lock(self, key: str) -> threading.Lock:
+        """The single-flight lock for one fingerprint key.
+
+        Concurrent misses on the same template grab the same lock, so only
+        the first runs cost-k-decomp; the rest re-check the cache after it
+        stores (a thundering cold-start herd builds each plan once, not
+        once per worker).  The lock is dropped from the registry when the
+        build completes (:meth:`store`), keeping the registry bounded by
+        the number of *in-flight* builds.
+        """
+        with self._lock:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._build_locks[key] = lock
+            return lock
+
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, fingerprint: QueryFingerprint, stats_version: int
+    ) -> Optional[CachedPlan]:
+        """The live entry for a fingerprint, or None (counting a miss).
+
+        Stale entries — expired TTL, outdated statistics version, or a
+        digest collision with different canonical text — are evicted here,
+        lazily, with the reason counted.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint.key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry.created > self.ttl_seconds
+            ):
+                del self._entries[fingerprint.key]
+                self.stats.evictions_ttl += 1
+                self.stats.misses += 1
+                return None
+            if entry.stats_version != stats_version:
+                del self._entries[fingerprint.key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            if entry.text != fingerprint.text:
+                # sha256-prefix collision between distinct templates: do not
+                # serve, do not evict — the stored template is still valid.
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint.key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
+
+    def store(
+        self,
+        fingerprint: QueryFingerprint,
+        tree: Optional[Hypertree],
+        stats_version: int,
+    ) -> None:
+        """Insert a canonical plan (or ``None`` = cached failure)."""
+        with self._lock:
+            self._build_locks.pop(fingerprint.key, None)
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[fingerprint.key] = CachedPlan(
+                text=fingerprint.text,
+                tree=tree,
+                stats_version=stats_version,
+                created=self._clock(),
+            )
+            self._entries.move_to_end(fingerprint.key)
+            self.stats.inserts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions_lru += 1
+
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Eagerly evict every TTL-expired entry; returns how many."""
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        with self._lock:
+            expired = [
+                key
+                for key, entry in self._entries.items()
+                if now - entry.created > self.ttl_seconds
+            ]
+            for key in expired:
+                del self._entries[key]
+            self.stats.evictions_ttl += len(expired)
+        return len(expired)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._build_locks.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters plus current occupancy (for the metrics layer)."""
+        with self._lock:
+            data = self.stats.snapshot()
+            data["size"] = len(self._entries)
+            data["capacity"] = self.capacity
+        return data

@@ -1,0 +1,208 @@
+"""``QueryService``: concurrent SQL serving over the structural optimizer.
+
+The production shape the ROADMAP asks for: a :class:`QueryService` owns a
+:class:`~repro.engine.dbms.SimulatedDBMS` coupled to the structural
+optimizer (:func:`~repro.core.integration.install_structural_optimizer`),
+fronted by
+
+* a **plan cache** — repeated query templates skip cost-k-decomp entirely
+  (the paper's millisecond, data-size-independent structural plan, built
+  once per template instead of once per query);
+* an **executor pool** — a fixed number of workers over a *bounded* queue;
+  saturation rejects with :class:`~repro.errors.ServiceOverloaded`
+  (backpressure) instead of queueing without bound;
+* **per-query work budgets** — every admitted query runs under its own
+  :class:`~repro.metering.WorkMeter` budget, so one pathological query
+  becomes a DNF result, not a stuck worker;
+* **graceful degradation** — templates with no width-≤k decomposition fall
+  back to the engine's built-in planner (and the failure itself is cached,
+  so repetitions skip the failing search).
+
+Queries are read-only, so concurrent executions over the shared database
+need no further coordination; all mutable serving state (caches, metrics,
+meters) is lock-guarded.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.engine.dbms import DBMSResult, SimulatedDBMS
+from repro.query import ast
+from repro.core.integration import install_structural_optimizer
+from repro.service.executor_pool import ExecutorPool
+from repro.service.metrics import ServiceMetrics
+from repro.service.plancache import PlanCache
+
+
+class QueryService:
+    """A concurrent query-serving layer over one simulated DBMS.
+
+    Args:
+        dbms: the engine to serve from; its optimizer handler is replaced
+            (and restored on :meth:`close`).
+        max_width: width bound k for cost-k-decomp.
+        workers: pool worker threads.
+        queue_capacity: maximum queries waiting for a worker; beyond it,
+            :meth:`submit` rejects with ``ServiceOverloaded``.
+        cache_capacity: plan cache entries (0 disables plan caching).
+        cache_ttl_seconds: plan cache entry lifetime (None = no expiry).
+        work_budget: default per-query work-unit budget (None = unlimited).
+        fallback_to_builtin: degrade to the built-in planner when no
+            width-≤k decomposition exists.
+        optimize: run Procedure Optimize on fresh decompositions.
+    """
+
+    def __init__(
+        self,
+        dbms: SimulatedDBMS,
+        *,
+        max_width: int = 4,
+        workers: int = 4,
+        queue_capacity: int = 32,
+        cache_capacity: int = 128,
+        cache_ttl_seconds: Optional[float] = None,
+        work_budget: Optional[int] = None,
+        fallback_to_builtin: bool = True,
+        optimize: bool = True,
+    ):
+        self.dbms = dbms
+        self.work_budget = work_budget
+        self.metrics = ServiceMetrics()
+        self.plan_cache = PlanCache(
+            capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
+        )
+        self._handler = install_structural_optimizer(
+            dbms,
+            max_width=max_width,
+            fallback_to_builtin=fallback_to_builtin,
+            optimize=optimize,
+            plan_cache=self.plan_cache,
+            metrics=self.metrics,
+        )
+        self.pool = ExecutorPool(
+            workers=workers, queue_capacity=queue_capacity, name="hdqo-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: Union[str, ast.SelectQuery],
+        work_budget: Optional[int] = None,
+    ) -> DBMSResult:
+        """Run one query synchronously in the calling thread.
+
+        The same planning/caching/metrics path as pooled execution — used
+        for warm-up and serial baselines.
+        """
+        return self._run(sql, work_budget)
+
+    def submit(
+        self,
+        sql: Union[str, ast.SelectQuery],
+        work_budget: Optional[int] = None,
+    ) -> "Future[DBMSResult]":
+        """Admit one query to the pool; rejects when saturated.
+
+        Raises:
+            ServiceOverloaded: the waiting queue is at capacity; the
+                rejection is counted in the metrics.
+            ServiceClosed: the service has been closed.
+        """
+        from repro.errors import ServiceOverloaded
+
+        try:
+            return self.pool.submit(self._run, sql, work_budget)
+        except ServiceOverloaded:
+            self.metrics.record_rejection()
+            raise
+
+    def run_all(
+        self,
+        queries: Sequence[Union[str, ast.SelectQuery]],
+        work_budget: Optional[int] = None,
+        return_exceptions: bool = False,
+    ) -> "List[Union[DBMSResult, Exception]]":
+        """Run a batch through the pool, blocking for queue room (never
+        rejecting), and return results in submission order.
+
+        With ``return_exceptions``, a query that raises (e.g. a syntax
+        error) yields its exception object in place of a result instead of
+        aborting the whole batch — the CLI's behaviour.
+        """
+        futures = [
+            self.pool.submit_blocking(self._run, sql, work_budget)
+            for sql in queries
+        ]
+        results: List[Union[DBMSResult, Exception]] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def warm_up(
+        self, queries: Sequence[Union[str, ast.SelectQuery]]
+    ) -> int:
+        """Plan (and run) each query once to populate the plan cache.
+
+        Returns the number of plan-cache entries after warm-up.
+        """
+        for sql in queries:
+            self._run(sql, self.work_budget)
+        return len(self.plan_cache)
+
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        sql: Union[str, ast.SelectQuery],
+        work_budget: Optional[int],
+    ) -> DBMSResult:
+        budget = work_budget if work_budget is not None else self.work_budget
+        started = time.perf_counter()
+        try:
+            result = self.dbms.run_sql(sql, work_budget=budget)
+        except Exception:
+            self.metrics.record_error()
+            raise
+        self.metrics.record_query(
+            finished=result.finished,
+            work=result.work,
+            seconds=time.perf_counter() - started,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full serving snapshot: metrics + plan cache + pool."""
+        data = self.metrics.snapshot(cache=self.plan_cache.snapshot())
+        data["pool"] = self.pool.snapshot()
+        return data
+
+    def close(self) -> None:
+        """Drain the pool and restore the engine's built-in planner."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.shutdown(wait=True)
+        if self.dbms.optimizer_handler is self._handler:
+            self.dbms.set_optimizer_handler(None)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,9 +13,28 @@ class TestParser:
             ["run", "q5"],
             ["explain", "q5"],
             ["experiment", "fig10"],
+            ["serve"],
+            ["bench-serve"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "2", "--queue-capacity", "4",
+             "--cache-capacity", "16", "--budget", "1000"]
+        )
+        assert args.workers == 2
+        assert args.queue_capacity == 4
+        assert args.cache_capacity == 16
+        assert args.budget == 1000
+
+    def test_serving_experiment_registered(self):
+        from repro.bench.experiments import EXPERIMENTS
+
+        assert "serving" in EXPERIMENTS
+        args = build_parser().parse_args(["experiment", "serving"])
+        assert callable(args.func)
 
     def test_unknown_experiment_rejected(self):
         parser = build_parser()
@@ -81,3 +100,41 @@ class TestCommands:
             ["experiment", "overhead", "--metric", "elapsed_seconds"]
         ) == 0
         assert "analyze" in capsys.readouterr().out
+
+    def test_serve_reads_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("# comment\nq5\nq5\n\n"),
+        )
+        assert main(["serve", "--size-mb", "20", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "q-hd" in out
+        assert "q-hd(cached)" in out
+        assert "cache_hits: 1" in out
+
+    def test_serve_empty_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", "--size-mb", "20"]) == 1
+
+    def test_serve_bad_query_reported_not_crashing(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("NOT SQL AT ALL\nq5\n")
+        )
+        assert main(["serve", "--size-mb", "20", "--workers", "2"]) == 2
+        out = capsys.readouterr().out
+        assert "error: expected 'select'" in out
+        assert "q-hd" in out  # the good query still ran
+
+    def test_bench_serve(self, capsys):
+        assert main(
+            ["bench-serve", "--workers", "4", "--repetitions", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "warm" in out
+        assert "amortization" in out

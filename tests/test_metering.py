@@ -1,5 +1,8 @@
 """Tests for work metering and the spill model."""
 
+import sys
+import threading
+
 import pytest
 
 from repro.errors import WorkBudgetExceeded
@@ -45,6 +48,60 @@ class TestWorkMeter:
         NULL_METER.charge(10_000_000)
         assert NULL_METER.total == 0
         assert isinstance(NULL_METER, NullMeter)
+
+    def test_concurrent_charges_are_exact(self):
+        # Regression: charge() used read-modify-write without a lock, so
+        # concurrent workers (the serving layer's pool) could lose updates.
+        meter = WorkMeter()
+        threads_n, per_thread = 8, 2_000
+        barrier = threading.Barrier(threads_n)
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force aggressive interleaving
+        try:
+
+            def worker():
+                barrier.wait()
+                for _ in range(per_thread):
+                    meter.charge(1, "scan")
+                    meter.charge(2, "join")
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(threads_n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(interval)
+        assert meter.total == threads_n * per_thread * 3
+        assert meter.by_category == {
+            "scan": threads_n * per_thread,
+            "join": threads_n * per_thread * 2,
+        }
+
+    def test_concurrent_budget_single_exceeder_consistent(self):
+        # Under a budget, concurrent charging must never corrupt the total:
+        # whatever interleaving occurs, spent == budget + overshoot of the
+        # charge that tripped it.
+        meter = WorkMeter(budget=500)
+        exceeded = []
+
+        def worker():
+            try:
+                for _ in range(1_000):
+                    meter.charge(1)
+            except WorkBudgetExceeded as err:
+                exceeded.append(err)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert exceeded  # the budget tripped
+        assert meter.total >= 500
+        assert meter.total <= 500 + len(exceeded)
 
 
 class TestSpillModel:

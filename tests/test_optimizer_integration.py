@@ -130,3 +130,64 @@ class TestTightCoupling:
         dbms.set_optimizer_handler(None)
         result = dbms.run_sql(chain_sql)
         assert result.optimizer == "dp-leftdeep"
+
+    def test_fallback_answer_matches_direct_run(self, chain_db):
+        # The degraded path must produce exactly what the stock engine does.
+        sql = """
+        SELECT r0.a0, r1.a1, r2.a2, r3.a3 FROM r0, r1, r2, r3
+        WHERE r0.b0 = r1.a1 AND r1.b1 = r2.a2 AND r2.b2 = r3.a3 AND r3.b3 = r0.a0
+        """
+        stock = SimulatedDBMS(chain_db, POSTGRES_PROFILE)
+        baseline = stock.run_sql(sql)
+        coupled = SimulatedDBMS(chain_db, POSTGRES_PROFILE)
+        install_structural_optimizer(coupled, max_width=1, fallback_to_builtin=True)
+        result = coupled.run_sql(sql)
+        assert result.optimizer == "builtin-fallback"
+        assert result.relation.same_content(baseline.relation)
+        assert sorted(result.relation.tuples) == sorted(baseline.relation.tuples)
+
+
+class TestCostModelCaching:
+    def test_model_built_once_for_identical_runs(
+        self, chain_db, chain_sql, monkeypatch
+    ):
+        import repro.core.integration as integration
+
+        calls = {"n": 0}
+        real = integration.cost_model_from_database
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            integration, "cost_model_from_database", counting
+        )
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        install_structural_optimizer(dbms, max_width=2)
+        first = dbms.run_sql(chain_sql)
+        second = dbms.run_sql(chain_sql)
+        assert first.relation.same_content(second.relation)
+        assert calls["n"] == 1
+
+    def test_model_rebuilt_after_analyze(
+        self, chain_db, chain_sql, monkeypatch
+    ):
+        import repro.core.integration as integration
+
+        calls = {"n": 0}
+        real = integration.cost_model_from_database
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            integration, "cost_model_from_database", counting
+        )
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        install_structural_optimizer(dbms, max_width=2)
+        dbms.run_sql(chain_sql)
+        chain_db.analyze()  # bumps the statistics version
+        dbms.run_sql(chain_sql)
+        assert calls["n"] == 2

@@ -1,0 +1,159 @@
+"""Tests for the thread-safe LRU+TTL structural plan cache."""
+
+import threading
+
+import pytest
+
+from repro.service.fingerprint import QueryFingerprint
+from repro.service.plancache import PlanCache
+
+
+def make_fp(name: str, text: str = "") -> QueryFingerprint:
+    return QueryFingerprint(
+        key=name, text=text or f"text-{name}", var_map={}, atom_map={}
+    )
+
+
+class FakeTree:
+    """Stands in for a Hypertree; the cache never inspects entries."""
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        fp = make_fp("a")
+        assert cache.lookup(fp, 0) is None
+        tree = FakeTree()
+        cache.store(fp, tree, 0)
+        entry = cache.lookup(fp, 0)
+        assert entry is not None and entry.tree is tree
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_failure_entry(self):
+        cache = PlanCache(capacity=4)
+        fp = make_fp("a")
+        cache.store(fp, None, 0)
+        entry = cache.lookup(fp, 0)
+        assert entry is not None and entry.failure
+
+    def test_capacity_zero_disables(self):
+        cache = PlanCache(capacity=0)
+        fp = make_fp("a")
+        cache.store(fp, FakeTree(), 0)
+        assert cache.lookup(fp, 0) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+        with pytest.raises(ValueError):
+            PlanCache(ttl_seconds=0)
+
+
+class TestLRU:
+    def test_least_recent_evicted(self):
+        cache = PlanCache(capacity=2)
+        a, b, c = make_fp("a"), make_fp("b"), make_fp("c")
+        cache.store(a, FakeTree(), 0)
+        cache.store(b, FakeTree(), 0)
+        cache.lookup(a, 0)  # refresh a; b is now least recent
+        cache.store(c, FakeTree(), 0)
+        assert cache.lookup(a, 0) is not None
+        assert cache.lookup(b, 0) is None
+        assert cache.lookup(c, 0) is not None
+        assert cache.stats.evictions_lru == 1
+
+
+class TestTTL:
+    def test_lazy_expiry(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        fp = make_fp("a")
+        cache.store(fp, FakeTree(), 0)
+        clock.now = 9.0
+        assert cache.lookup(fp, 0) is not None
+        clock.now = 11.0
+        assert cache.lookup(fp, 0) is None
+        assert cache.stats.evictions_ttl == 1
+
+    def test_sweep(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.store(make_fp("a"), FakeTree(), 0)
+        clock.now = 5.0
+        cache.store(make_fp("b"), FakeTree(), 0)
+        clock.now = 12.0
+        assert cache.sweep() == 1  # only "a" expired
+        assert len(cache) == 1
+
+
+class TestStatsVersion:
+    def test_stale_version_invalidated(self):
+        cache = PlanCache(capacity=4)
+        fp = make_fp("a")
+        cache.store(fp, FakeTree(), stats_version=1)
+        assert cache.lookup(fp, stats_version=1) is not None
+        assert cache.lookup(fp, stats_version=2) is None
+        assert cache.stats.invalidations == 1
+        # the stale entry is gone, not resurrected by the old version
+        assert cache.lookup(fp, stats_version=1) is None
+
+
+class TestCollisions:
+    def test_digest_collision_is_miss_not_eviction(self):
+        cache = PlanCache(capacity=4)
+        stored = make_fp("samekey", text="template-one")
+        other = make_fp("samekey", text="template-two")
+        cache.store(stored, FakeTree(), 0)
+        assert cache.lookup(other, 0) is None  # never serve the wrong plan
+        assert cache.lookup(stored, 0) is not None  # original still live
+
+
+class TestSnapshotAndConcurrency:
+    def test_snapshot_shape(self):
+        cache = PlanCache(capacity=4)
+        fp = make_fp("a")
+        cache.store(fp, FakeTree(), 0)
+        cache.lookup(fp, 0)
+        snap = cache.snapshot()
+        assert snap["size"] == 1 and snap["capacity"] == 4
+        assert snap["hits"] == 1 and snap["hit_rate"] == 1.0
+
+    def test_build_lock_single_instance_per_key(self):
+        cache = PlanCache(capacity=4)
+        assert cache.build_lock("k") is cache.build_lock("k")
+        assert cache.build_lock("k") is not cache.build_lock("other")
+        cache.store(make_fp("k"), FakeTree(), 0)  # completes the build
+        # a fresh build cycle gets a fresh lock object
+        assert isinstance(cache.build_lock("k"), type(threading.Lock()))
+
+    def test_concurrent_store_lookup(self):
+        cache = PlanCache(capacity=16)
+        errors = []
+
+        def worker(tag: int) -> None:
+            try:
+                for i in range(200):
+                    fp = make_fp(f"{tag}-{i % 8}")
+                    cache.store(fp, FakeTree(), 0)
+                    assert cache.lookup(fp, 0) is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -1,0 +1,199 @@
+"""End-to-end tests for the concurrent serving layer (QueryService)."""
+
+import threading
+
+import pytest
+
+from repro.engine.dbms import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
+from repro.errors import ServiceClosed, ServiceOverloaded
+from repro.service.executor_pool import ExecutorPool
+from repro.service.server import QueryService
+
+RENAMED_CHAIN_SQL = """
+SELECT w.a0, y.a2 FROM r0 w, r1 x, r2 y, r3 z
+WHERE w.b0 = x.a1 AND x.b1 = y.a2 AND y.b2 = z.a3 AND z.b3 = w.a0
+"""
+
+
+@pytest.fixture()
+def service(chain_db):
+    svc = QueryService(
+        SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=2
+    )
+    yield svc
+    svc.close()
+
+
+class TestExecutorPool:
+    def test_runs_tasks(self):
+        with ExecutorPool(workers=2, queue_capacity=8) as pool:
+            futures = [pool.submit(lambda x=x: x * x) for x in range(5)]
+            assert [f.result(timeout=5) for f in futures] == [0, 1, 4, 9, 16]
+
+    def test_propagates_exceptions(self):
+        def boom():
+            raise ValueError("boom")
+
+        with ExecutorPool(workers=1, queue_capacity=4) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.submit(boom).result(timeout=5)
+
+    def test_backpressure_rejects_when_full(self):
+        started, release = threading.Event(), threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10)
+
+        pool = ExecutorPool(workers=1, queue_capacity=1)
+        try:
+            pool.submit(blocker)
+            assert started.wait(timeout=5)  # worker busy, queue empty
+            pool.submit(lambda: None)  # fills the one queue slot
+            with pytest.raises(ServiceOverloaded) as err:
+                pool.submit(lambda: None)
+            assert err.value.capacity == 1
+            assert pool.snapshot()["rejected"] == 1
+        finally:
+            release.set()
+            pool.shutdown(wait=True)
+
+    def test_submit_after_shutdown(self):
+        pool = ExecutorPool(workers=1, queue_capacity=2)
+        pool.shutdown(wait=True)
+        with pytest.raises(ServiceClosed):
+            pool.submit(lambda: None)
+
+
+class TestQueryService:
+    def test_execute_matches_stock_engine(self, chain_db, chain_sql, service):
+        baseline = SimulatedDBMS(chain_db, COMMDB_PROFILE).run_sql(chain_sql)
+        result = service.execute(chain_sql)
+        assert result.optimizer == "q-hd"
+        assert result.relation.same_content(baseline.relation)
+
+    def test_repeated_template_hits_cache(self, chain_sql, service):
+        first = service.execute(chain_sql)
+        second = service.execute(chain_sql)
+        renamed = service.execute(RENAMED_CHAIN_SQL)
+        assert first.optimizer == "q-hd"
+        assert second.optimizer == "q-hd(cached)"
+        assert renamed.optimizer == "q-hd(cached)"
+        assert renamed.relation.same_content(first.relation)
+        snap = service.snapshot()
+        assert snap["planning"]["built"] == 1
+        assert snap["planning"]["cache_hits"] == 2
+
+    def test_warm_up_populates_cache(self, chain_sql, service):
+        assert service.warm_up([chain_sql]) == 1
+        assert service.execute(chain_sql).optimizer == "q-hd(cached)"
+
+    def test_run_all_matches_serial(self, chain_db, chain_sql, service):
+        queries = [chain_sql, RENAMED_CHAIN_SQL] * 4
+        serial = [
+            SimulatedDBMS(chain_db, COMMDB_PROFILE).run_sql(sql)
+            for sql in queries
+        ]
+        concurrent = service.run_all(queries)
+        assert len(concurrent) == len(queries)
+        for mine, theirs in zip(concurrent, serial):
+            assert mine.finished
+            assert mine.relation.same_content(theirs.relation)
+
+    def test_submit_returns_future(self, chain_sql, service):
+        result = service.submit(chain_sql).result(timeout=30)
+        assert result.finished
+
+    def test_run_all_propagates_errors_by_default(self, chain_sql, service):
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            service.run_all([chain_sql, "NOT SQL AT ALL"])
+
+    def test_run_all_return_exceptions(self, chain_sql, service):
+        from repro.errors import SqlSyntaxError
+
+        results = service.run_all(
+            [chain_sql, "NOT SQL AT ALL", chain_sql],
+            return_exceptions=True,
+        )
+        assert results[0].finished and results[2].finished
+        assert isinstance(results[1], SqlSyntaxError)
+        assert service.snapshot()["queries"]["errors"] == 1
+
+    def test_work_budget_dnf(self, chain_db, chain_sql):
+        with QueryService(
+            SimulatedDBMS(chain_db, COMMDB_PROFILE),
+            max_width=2,
+            workers=1,
+            work_budget=5,
+        ) as svc:
+            result = svc.execute(chain_sql)
+            assert not result.finished
+            assert svc.snapshot()["queries"]["dnf"] == 1
+
+    def test_per_call_budget_overrides_default(self, chain_sql, service):
+        assert service.execute(chain_sql, work_budget=None).finished
+        assert not service.execute(chain_sql, work_budget=5).finished
+
+    def test_rejection_counted_in_metrics(self, chain_db, chain_sql):
+        started, release = threading.Event(), threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10)
+
+        with QueryService(
+            SimulatedDBMS(chain_db, COMMDB_PROFILE),
+            max_width=2,
+            workers=1,
+            queue_capacity=1,
+        ) as svc:
+            try:
+                svc.pool.submit(blocker)  # occupy the only worker
+                assert started.wait(timeout=5)
+                svc.pool.submit(lambda: None)  # fill the one queue slot
+                with pytest.raises(ServiceOverloaded):
+                    svc.submit(chain_sql)
+                assert svc.snapshot()["queries"]["rejected"] == 1
+            finally:
+                release.set()
+
+    def test_fallback_label_and_answer(self, chain_db):
+        # Width 1 cannot cover a 4-variable output: every query degrades.
+        sql = """
+        SELECT r0.a0, r1.a1, r2.a2, r3.a3 FROM r0, r1, r2, r3
+        WHERE r0.b0 = r1.a1 AND r1.b1 = r2.a2 AND r2.b2 = r3.a3 AND r3.b3 = r0.a0
+        """
+        baseline = SimulatedDBMS(chain_db, POSTGRES_PROFILE).run_sql(sql)
+        with QueryService(
+            SimulatedDBMS(chain_db, POSTGRES_PROFILE), max_width=1, workers=1
+        ) as svc:
+            result = svc.execute(sql)
+            assert result.optimizer == "builtin-fallback"
+            assert result.relation.same_content(baseline.relation)
+            # the failure is cached: the second run skips the search
+            svc.execute(sql)
+            assert svc.snapshot()["planning"]["fallbacks"] == 2
+
+    def test_close_restores_builtin_planner(self, chain_db, chain_sql):
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        svc = QueryService(dbms, max_width=2, workers=1)
+        assert svc.execute(chain_sql).optimizer == "q-hd"
+        svc.close()
+        assert dbms.run_sql(chain_sql).optimizer == "dp-bushy"
+
+    def test_snapshot_shape(self, chain_sql, service):
+        service.execute(chain_sql)
+        snap = service.snapshot()
+        assert snap["queries"]["submitted"] == 1
+        assert snap["latency_seconds"]["count"] == 1
+        assert snap["cache"]["capacity"] == 128
+        assert snap["pool"]["workers"] == 2
+
+    def test_analyze_invalidates_cached_plans(self, chain_db, chain_sql, service):
+        service.execute(chain_sql)
+        assert service.execute(chain_sql).optimizer == "q-hd(cached)"
+        chain_db.analyze()  # bumps the statistics version
+        assert service.execute(chain_sql).optimizer == "q-hd"
+        assert service.plan_cache.stats.invalidations == 1
