@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run the serving throughput benchmark under tracing and validate the spans.
+
+CI's observability job: executes the cold-vs-warm serving benchmark with a
+process-wide :class:`repro.obs.tracing.Tracer` installed, exports every span
+(``serve.plan``, ``serve.execute``, ``decompose.*``, ``qhd.node``) as JSONL,
+and fails (exit 1) when the tracer reports a consistency problem — a
+negative span duration, a negative work-unit delta, or an unmatched
+open/close under the executor pool.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_serving_benchmark.py [spans.jsonl]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.reporting import render_series_table  # noqa: E402
+from repro.bench.serving import run_serving_throughput  # noqa: E402
+from repro.obs.tracing import tracing  # noqa: E402
+
+
+def main(argv: list) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else Path("spans.jsonl")
+
+    with tracing() as tracer:
+        result = run_serving_throughput(scale="quick")
+
+    print(render_series_table(result, metric="work", point_label="repetitions"))
+
+    exported = tracer.export_jsonl(out_path)
+    by_name: dict = {}
+    for span in tracer.spans():
+        by_name[span.name] = by_name.get(span.name, 0) + 1
+    print(f"\nexported {exported} spans -> {out_path}")
+    for name in sorted(by_name):
+        print(f"  {name:<20} {by_name[name]:>6}")
+    if tracer.dropped:
+        print(f"  (dropped beyond retention cap: {tracer.dropped})")
+
+    problems = tracer.validate()
+    if problems:
+        for problem in problems:
+            print(f"TRACE PROBLEM: {problem}", file=sys.stderr)
+        return 1
+    expected = {"serve.plan", "serve.execute", "decompose.search", "qhd.node"}
+    missing = expected - set(by_name)
+    if missing:
+        print(f"TRACE PROBLEM: expected span names missing: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    print("trace validation: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

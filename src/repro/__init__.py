@@ -46,8 +46,9 @@ from repro.core import (
 from repro.engine import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
 from repro.errors import ServiceClosed, ServiceError, ServiceOverloaded
 from repro.service import PlanCache, QueryService, ServiceMetrics
+from repro.obs import MetricsRegistry, Tracer, current_tracer, tracing
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -86,5 +87,9 @@ __all__ = [
     "QueryService",
     "PlanCache",
     "ServiceMetrics",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -92,6 +92,9 @@ def _run_synthetic_point(
     )
     qhd.extra["decomposition_seconds"] = decomposition_seconds
     qhd.extra["width"] = plan.width
+    # The stand-alone plan's search effort is not charged to the execution
+    # meter; surface it in the decompose phase column.
+    qhd.phase_work["decompose"] = plan.planning_work
     return commdb, qhd
 
 
@@ -198,6 +201,7 @@ def run_fig8(
         )
         qhd.extra["decomposition_seconds"] = plan.decomposition_seconds
         qhd.extra["width"] = plan.width
+        qhd.phase_work["decompose"] = plan.planning_work
         result.add(qhd)
     if not result.consistent_answers():
         result.notes.append("WARNING: systems disagree on answer sizes")
@@ -251,13 +255,21 @@ def run_fig9(
             result.add(stock_record)
 
             coupled = SimulatedDBMS(database, POSTGRES_PROFILE)
-            install_structural_optimizer(coupled, max_width=MAX_WIDTH)
+            # The handler plans on its own meter; a ServiceMetrics instance
+            # captures the deterministic planning effort per query.
+            from repro.service.metrics import ServiceMetrics
+
+            plan_metrics = ServiceMetrics()
+            install_structural_optimizer(
+                coupled, max_width=MAX_WIDTH, metrics=plan_metrics
+            )
             coupled_record = run_with_budget(
                 lambda: coupled.run_sql(sql, work_budget=budget),
                 system=f"postgres+q-hd-{kind}",
                 point=n_atoms,
             )
             coupled_record.extra["group"] = kind
+            coupled_record.phase_work["decompose"] = plan_metrics.planning_units
             result.add(coupled_record)
     if not result.consistent_answers():
         result.notes.append("WARNING: systems disagree on answer sizes")
@@ -345,6 +357,7 @@ class _SimpleResult:
         self.elapsed_seconds = meter.elapsed_seconds
         self.finished = True
         self.optimizer = "q-hd"
+        self.work_breakdown = meter.snapshot()
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ def result_to_rows(result: ExperimentResult) -> List[Dict[str, object]]:
     """Flatten an experiment into one dict per record."""
     rows = []
     for record in result.records:
+        phases = record.phase_work
         rows.append(
             {
                 "experiment": result.experiment_id,
@@ -32,6 +33,9 @@ def result_to_rows(result: ExperimentResult) -> List[Dict[str, object]]:
                 "elapsed_seconds": record.elapsed_seconds,
                 "finished": record.finished,
                 "answer_rows": record.answer_rows,
+                "work_decompose": phases.get("decompose"),
+                "work_optimize": phases.get("optimize"),
+                "work_execute": phases.get("execute"),
             }
         )
     return rows
@@ -48,6 +52,9 @@ def write_csv(results: Sequence[ExperimentResult], path: PathLike) -> None:
         "elapsed_seconds",
         "finished",
         "answer_rows",
+        "work_decompose",
+        "work_optimize",
+        "work_execute",
     ]
     with open(path, "w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)

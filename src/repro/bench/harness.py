@@ -29,6 +29,10 @@ class RunRecord:
         finished: False when the work budget was exhausted.
         answer_rows: size of the produced answer (None when unfinished).
         extra: free-form extras (plan text, decomposition width, …).
+        phase_work: per-phase work-unit breakdown
+            (``{"decompose": …, "optimize": …, "execute": …}`` — see
+            :func:`repro.metering.split_phases`); empty when the runner
+            did not report one.
     """
 
     system: str
@@ -39,6 +43,7 @@ class RunRecord:
     finished: bool
     answer_rows: Optional[int] = None
     extra: Dict[str, object] = field(default_factory=dict)
+    phase_work: Dict[str, int] = field(default_factory=dict)
 
     @property
     def display_work(self) -> str:
@@ -115,10 +120,15 @@ def run_with_budget(
 
     ``runner`` returns a :class:`repro.engine.dbms.DBMSResult`-shaped
     object (fields ``work``, ``simulated_seconds``, ``elapsed_seconds``,
-    ``finished``, ``relation``).
+    ``finished``, ``relation``).  A ``work_breakdown`` field, when present,
+    is split into the per-phase columns (see
+    :func:`repro.metering.split_phases`).
     """
+    from repro.metering import split_phases
+
     result = runner()
     relation = getattr(result, "relation", None)
+    breakdown = getattr(result, "work_breakdown", None)
     return RunRecord(
         system=system,
         point=point,
@@ -128,4 +138,5 @@ def run_with_budget(
         finished=getattr(result, "finished", True),
         answer_rows=len(relation) if relation is not None else None,
         extra={"optimizer": getattr(result, "optimizer", "?")},
+        phase_work=split_phases(breakdown) if breakdown else {},
     )

@@ -139,6 +139,11 @@ def run_serving_throughput(
                         "queries": len(queries),
                         "throughput_qps": round(len(queries) / elapsed, 1),
                     },
+                    phase_work={
+                        "decompose": planning["work_units"],
+                        "optimize": 0,
+                        "execute": snapshot["queries"]["work_units"],
+                    },
                 )
             )
         finally:

@@ -144,7 +144,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Lines are TPC-H query names (``q5``) or inline SQL; blank lines and
     ``#`` comments are skipped.  Repeated templates exercise the plan
     cache — the point of the serving layer.
+
+    ``--trace FILE`` turns end-to-end tracing on for the whole batch and
+    exports every span (``serve.plan``, ``serve.execute``, ``qhd.node``,
+    ``exec.*``) as JSONL; ``--metrics-format`` picks the final snapshot
+    rendering (human text, JSON, or Prometheus exposition).
     """
+    import contextlib
+    import json as json_module
+
+    from repro.obs.tracing import tracing
     from repro.service.metrics import render_snapshot
     from repro.service.server import QueryService
 
@@ -170,24 +179,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
         work_budget=args.budget,
     )
     exit_code = 0
+    trace_scope = tracing() if args.trace else contextlib.nullcontext(None)
     try:
-        print(f"{'#':>3} {'optimizer':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
-        outcomes = service.run_all(queries, return_exceptions=True)
-        for index, result in enumerate(outcomes, 1):
-            if isinstance(result, Exception):
-                print(f"{index:>3} error: {result}")
-                exit_code = 2
-                continue
-            work = str(result.work) if result.finished else "DNF"
-            count = str(len(result.relation)) if result.relation is not None else "-"
-            print(
-                f"{index:>3} {result.optimizer:<16} {work:>12} "
-                f"{count:>8} {result.elapsed_seconds:>9.3f}"
-            )
-            if not result.finished:
+        with trace_scope as tracer:
+            print(f"{'#':>3} {'optimizer':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
+            outcomes = service.run_all(queries, return_exceptions=True)
+            for index, result in enumerate(outcomes, 1):
+                if isinstance(result, Exception):
+                    print(f"{index:>3} error: {result}")
+                    exit_code = 2
+                    continue
+                work = str(result.work) if result.finished else "DNF"
+                count = str(len(result.relation)) if result.relation is not None else "-"
+                print(
+                    f"{index:>3} {result.optimizer:<16} {work:>12} "
+                    f"{count:>8} {result.elapsed_seconds:>9.3f}"
+                )
+                if not result.finished:
+                    exit_code = 2
+        if tracer is not None:
+            exported = tracer.export_jsonl(args.trace)
+            problems = tracer.validate()
+            print()
+            print(f"trace: {exported} spans -> {args.trace}")
+            for problem in problems:
+                print(f"trace problem: {problem}", file=sys.stderr)
                 exit_code = 2
         print()
-        print(render_snapshot(service.snapshot()))
+        snapshot = service.snapshot()
+        if args.metrics_format == "json":
+            print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+        elif args.metrics_format == "prom":
+            print(service.metrics.render_text())
+        else:
+            print(render_snapshot(snapshot))
     finally:
         service.close()
     return exit_code
@@ -218,19 +243,46 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         f"throughput:    cold={cold.extra['throughput_qps']} q/s  "
         f"warm={warm.extra['throughput_qps']} q/s"
     )
+    if cold.phase_work and warm.phase_work:
+        print(
+            "phase work:    "
+            f"cold decompose={cold.phase_work['decompose']} "
+            f"execute={cold.phase_work['execute']}  |  "
+            f"warm decompose={warm.phase_work['decompose']} "
+            f"execute={warm.phase_work['execute']}"
+        )
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    """Engine plan vs decomposition plan — optionally EXPLAIN ANALYZE.
+
+    The query is translated once and one decomposition serves both
+    renderings; the shared template fingerprint (the plan-cache key) is
+    printed so repeated ``explain`` calls can be correlated with ``serve``
+    cache behaviour.  With ``--analyze`` both plans are *executed* and each
+    operator is annotated with actual rows, work units, and wall time.
+    """
+    from repro.service.fingerprint import fingerprint_translation
+
     database = generate_tpch_database(size_mb=args.size_mb, seed=args.seed, analyze=True)
     sql = _query_text(args)
     dbms = SimulatedDBMS(database, COMMDB_PROFILE)
-    print("Engine join plan (dp-bushy, with statistics):")
-    print(dbms.explain(sql, use_statistics=True))
+    optimizer = HybridOptimizer(database, max_width=args.width)
+    translation = optimizer.translate(sql)
+    fingerprint = fingerprint_translation(translation)
+    print(f"template fingerprint: {fingerprint.key}")
     print()
-    plan = HybridOptimizer(database, max_width=args.width).optimize(sql)
+    if args.analyze:
+        print("Engine join plan (EXPLAIN ANALYZE, with statistics):")
+        print(dbms.explain_analyze(translation, work_budget=args.budget).text)
+    else:
+        print("Engine join plan (dp-bushy, with statistics):")
+        print(dbms.explain(translation, use_statistics=True))
+    print()
+    plan = optimizer.optimize(translation)
     print(f"q-hypertree decomposition (width {plan.width}):")
-    print(plan.explain())
+    print(plan.explain(analyze=args.analyze, work_budget=args.budget))
     return 0
 
 
@@ -264,6 +316,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explain", help="engine plan vs decomposition plan")
     common(p)
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute both plans and annotate operators with actual "
+        "rows/work/time (EXPLAIN ANALYZE)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="work budget for --analyze"
+    )
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(
@@ -295,6 +356,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-capacity", type=int, default=128)
     p.add_argument(
         "--budget", type=int, default=None, help="per-query work budget"
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable tracing and export spans as JSONL to FILE",
+    )
+    p.add_argument(
+        "--metrics-format",
+        choices=["text", "json", "prom"],
+        default="text",
+        help="rendering of the final metrics snapshot",
     )
     p.set_defaults(func=cmd_serve)
 

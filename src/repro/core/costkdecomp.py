@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 from repro.errors import DecompositionError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.metering import NULL_METER, WorkMeter
+from repro.obs.tracing import current_tracer
 from repro.core.costmodel import DecompositionCostModel, JoinEstimate
 from repro.core.detkdecomp import _candidate_separators, _split
 from repro.core.hypertree import Hypertree, HypertreeNode
@@ -79,6 +80,13 @@ class CostKDecomp:
         self._memo: Dict[
             Tuple[FrozenSet[str], FrozenSet[str]], Optional[_Best]
         ] = {}
+        # Search statistics, reported on the "decompose.search" span (and
+        # free to read afterwards): candidate separators evaluated, pruned
+        # (no strictly shrinking split, or an unsolvable sub-component),
+        # and DP memo hits.
+        self.candidates = 0
+        self.pruned = 0
+        self.memo_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -101,7 +109,23 @@ class CostKDecomp:
             root = HypertreeNode(chi=cover, lam=())
             return Hypertree(root, self.hypergraph), 0.0
         self._root_key = (all_edges, cover)
-        best = self._solve(all_edges, cover)
+        with current_tracer().span(
+            "decompose.search",
+            meter=self.meter,
+            k=self.k,
+            edges=len(all_edges),
+            variables=len(self.hypergraph.vertices),
+        ) as span:
+            best = self._solve(all_edges, cover)
+            span.tag(
+                candidates=self.candidates,
+                pruned=self.pruned,
+                memo_hits=self.memo_hits,
+                subproblems=len(self._memo),
+                found=best is not None,
+            )
+            if best is not None:
+                span.tag(cost=round(best.cost, 3), width=best.width)
         if best is None:
             return None
         return Hypertree(best.node.clone(), self.hypergraph), best.cost
@@ -113,6 +137,7 @@ class CostKDecomp:
     ) -> Optional[_Best]:
         key = (component, connector)
         if key in self._memo:
+            self.memo_hits += 1
             return self._memo[key]
         # Guard against re-entrancy; the subproblem ordering is acyclic
         # because sub-components strictly shrink, so a plain None marker is
@@ -133,10 +158,12 @@ class CostKDecomp:
             self.hypergraph, component, connector, self.k
         ):
             self.meter.charge(1, "plan")
+            self.candidates += 1
             lam_vars = self.hypergraph.variables_of(lam)
             chi = lam_vars & (connector | component_vars)
             pieces = _split(self.hypergraph, component, chi)
             if any(len(sub) >= len(component) for sub, _ in pieces):
+                self.pruned += 1
                 continue
 
             node_estimate, node_cost = self.cost_model.node_estimate(
@@ -160,6 +187,7 @@ class CostKDecomp:
                     current, child_best.estimate, chi
                 )
             if not feasible:
+                self.pruned += 1
                 continue
 
             if (

@@ -19,11 +19,22 @@ are CQ variables — see :func:`atom_relations`.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ExecutionError
 from repro.hypergraph.jointree import JoinTreeNode, build_join_forest
 from repro.metering import NULL_METER, SpillModel, WorkMeter
+from repro.obs.tracing import NullTracer, Tracer, current_tracer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.relational.relation import Relation
 from repro.core.hypertree import Hypertree, HypertreeNode
@@ -170,11 +181,13 @@ class QHDEvaluator:
         query: ConjunctiveQuery,
         meter: WorkMeter = NULL_METER,
         spill: Optional[SpillModel] = None,
+        tracer: "Optional[Union[Tracer, NullTracer]]" = None,
     ):
         self.decomposition = decomposition
         self.query = query
         self.meter = meter
         self.spill = spill
+        self.tracer = tracer if tracer is not None else current_tracer()
         self._trace: List[str] = []
 
     # ------------------------------------------------------------------
@@ -207,6 +220,27 @@ class QHDEvaluator:
     # ------------------------------------------------------------------
 
     def _evaluate_node(
+        self,
+        node: HypertreeNode,
+        relations: Mapping[str, Relation],
+        keep: "Optional[FrozenSet[str]]" = None,
+    ) -> Optional[Relation]:
+        with self.tracer.span(
+            "qhd.node",
+            meter=self.meter,
+            node=node.node_id,
+            atoms=len(node.lam),
+            children=len(node.children),
+        ) as span:
+            folds_before = len(self._trace)
+            rel = self._fold_node(node, relations, keep)
+            span.tag(
+                rows_out=len(rel) if rel is not None else 0,
+                folds=len(self._trace) - folds_before,
+            )
+        return rel
+
+    def _fold_node(
         self,
         node: HypertreeNode,
         relations: Mapping[str, Relation],

@@ -35,6 +35,7 @@ from repro.errors import DecompositionNotFound
 from repro.engine.dbms import OptimizerHandler, SimulatedDBMS
 from repro.engine.scans import atom_relations
 from repro.metering import WorkMeter
+from repro.obs.tracing import current_tracer
 from repro.query.translate import TranslationResult
 from repro.relational.relation import Relation
 from repro.core.costmodel import DecompositionCostModel
@@ -189,16 +190,24 @@ def install_structural_optimizer(
     def handler(
         engine: SimulatedDBMS, translation: TranslationResult, meter: WorkMeter
     ) -> Tuple[Relation, str, str]:
+        tracer = current_tracer()
         use_stats = engine.database.has_statistics()
-        try:
-            decomposition, cache_hit, plan_units, plan_seconds = (
-                _structural_plan(engine, translation, use_stats)
-            )
-        except DecompositionNotFound:
+        with tracer.span("serve.plan", query=translation.query.name) as span:
+            try:
+                decomposition, cache_hit, plan_units, plan_seconds = (
+                    _structural_plan(engine, translation, use_stats)
+                )
+            except DecompositionNotFound as exc:
+                span.tag(cache_hit=False, fallback=True)
+                decomposition, not_found = None, exc
+            else:
+                not_found = None
+                span.tag(cache_hit=cache_hit, plan_units=plan_units)
+        if not_found is not None:
             if metrics is not None:
                 metrics.record_plan(cache_hit=False, fallback=True)
             if not fallback_to_builtin:
-                raise
+                raise not_found
             answer, plan_text, label = engine.plan_and_join(
                 translation, meter, use_stats, optimizer_enabled=True
             )
@@ -211,13 +220,24 @@ def install_structural_optimizer(
             metrics.record_plan(
                 cache_hit=cache_hit, units=plan_units, seconds=plan_seconds
             )
-        base = atom_relations(
-            translation.query, engine.database, translation, meter
-        )
-        evaluator = QHDEvaluator(
-            decomposition, translation.query, meter, spill=engine.spill_model
-        )
-        answer = evaluator.evaluate(base)
+        with tracer.span(
+            "serve.execute",
+            meter=meter,
+            query=translation.query.name,
+            cache_hit=cache_hit,
+        ) as span:
+            base = atom_relations(
+                translation.query, engine.database, translation, meter
+            )
+            evaluator = QHDEvaluator(
+                decomposition,
+                translation.query,
+                meter,
+                spill=engine.spill_model,
+                tracer=tracer,
+            )
+            answer = evaluator.evaluate(base)
+            span.tag(rows_out=len(answer))
         label = "q-hd(cached)" if cache_hit else "q-hd"
         return answer, decomposition.render(), label
 

@@ -26,6 +26,7 @@ from repro.engine.dbms import DBMSResult
 from repro.engine.postprocess import apply_sql_semantics
 from repro.engine.scans import atom_relations
 from repro.metering import SpillModel, WorkMeter
+from repro.obs.tracing import NullTracer, Tracer, current_tracer
 from repro.query import ast
 from repro.query.parser import parse_sql
 from repro.query.translate import TranslationResult, sql_to_conjunctive
@@ -78,6 +79,9 @@ class OptimizedPlan:
         decomposition_seconds: time spent by cost-k-decomp (the paper's
             ~1.5 s, independent of database size).
         used_statistics: whether the cost model consulted ANALYZE data.
+        planning_work: ``"plan"`` work units charged by the cost-k-decomp
+            search — the deterministic planning-effort measure (the
+            bench exports report it as the *decompose* phase).
     """
 
     translation: TranslationResult
@@ -85,19 +89,48 @@ class OptimizedPlan:
     database: Database
     decomposition_seconds: float
     used_statistics: bool
+    planning_work: int = 0
 
     @property
     def width(self) -> int:
         return self.decomposition.width
 
-    def explain(self) -> str:
-        """Render the decomposition tree (the logical query plan)."""
-        return self.decomposition.render()
+    def explain(
+        self,
+        analyze: bool = False,
+        work_budget: Optional[int] = None,
+        spill: Optional[SpillModel] = None,
+    ) -> str:
+        """Render the decomposition tree (the logical query plan).
+
+        With ``analyze=True`` the plan is *executed* under a private tracer
+        and each node is annotated with its actual row count, charged work
+        units, and wall time — EXPLAIN ANALYZE for the structural engine.
+        """
+        if not analyze:
+            return self.decomposition.render()
+        from repro.obs.explain import render_analyzed_decomposition, stats_by_node
+
+        tracer = Tracer()
+        result = self.execute(
+            work_budget=work_budget, spill=spill, tracer=tracer
+        )
+        stats = stats_by_node(tracer.spans(), names=("qhd.node",))
+        lines = [render_analyzed_decomposition(self.decomposition, stats)]
+        lines.append(
+            f"total work: {result.work}   wall: {result.elapsed_seconds * 1e3:.1f}ms"
+        )
+        if result.finished and result.relation is not None:
+            lines.append(f"answer rows: {len(result.relation)}")
+        else:
+            lines.append("answer: did not finish (work budget exhausted)")
+        return "\n".join(lines)
 
     def execute(
         self,
         work_budget: Optional[int] = None,
         spill: Optional[SpillModel] = None,
+        tracer: "Optional[Union[Tracer, NullTracer]]" = None,
     ) -> DBMSResult:
         """Evaluate via the q-hypertree evaluator and apply SQL semantics."""
         from repro.errors import WorkBudgetExceeded
@@ -109,7 +142,11 @@ class OptimizedPlan:
                 self.translation.query, self.database, self.translation, meter
             )
             evaluator = QHDEvaluator(
-                self.decomposition, self.translation.query, meter, spill
+                self.decomposition,
+                self.translation.query,
+                meter,
+                spill,
+                tracer=tracer,
             )
             answer = evaluator.evaluate(base)
             final = apply_sql_semantics(answer, self.translation, meter)
@@ -127,6 +164,7 @@ class OptimizedPlan:
             finished=finished,
             used_statistics=self.used_statistics,
             optimizer="q-hd",
+            work_breakdown=meter.snapshot(),
         )
 
     def to_sql_views(self, view_prefix: str = "hdv") -> SqlViewPlan:
@@ -207,12 +245,17 @@ class HybridOptimizer:
         if self.include_aggregates and translation.select_query.has_aggregates:
             output_weight = self.aggregate_weight
         started = time.perf_counter()
+        # An internal meter captures the search's "plan" work units so the
+        # plan can report its deterministic planning effort; callers that
+        # pass no meter see identical charges to an uninstrumented build.
+        planning_meter = WorkMeter()
         decomposition = q_hypertree_decomp(
             translation.query,
             self.max_width,
             cost_model=model,
             optimize=self.optimize_procedure,
             output_weight=output_weight,
+            meter=planning_meter,
         )
         elapsed = time.perf_counter() - started
         return OptimizedPlan(
@@ -221,4 +264,5 @@ class HybridOptimizer:
             database=self.database,
             decomposition_seconds=elapsed,
             used_statistics=use_stats,
+            planning_work=planning_meter.total,
         )

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.errors import DecompositionError, DecompositionNotFound
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.metering import NULL_METER, WorkMeter
+from repro.obs.tracing import current_tracer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.core.costkdecomp import cost_k_decomp
 from repro.core.costmodel import DecompositionCostModel
@@ -34,7 +35,7 @@ from repro.core.detkdecomp import det_k_decomp
 from repro.core.hypertree import Hypertree, HypertreeNode
 
 
-def assign_atoms(decomposition: Hypertree, query: ConjunctiveQuery) -> None:
+def assign_atoms(decomposition: Hypertree, query: ConjunctiveQuery) -> int:
     """Ensure every query atom occurs in some λ label (in place).
 
     Every hyperedge is χ-covered by some node (condition 1); for each atom
@@ -43,7 +44,10 @@ def assign_atoms(decomposition: Hypertree, query: ConjunctiveQuery) -> None:
     site.  Appending an atom whose variables are inside χ(p) does not grow
     χ, so all decomposition conditions are preserved; the reported *width*
     may grow, which is the price Definition 2 accepts (see Example 4).
+
+    Returns the number of atoms newly assigned to a λ label.
     """
+    assigned = 0
     present = set()
     for node in decomposition.root.walk():
         present.update(node.lam)
@@ -72,6 +76,8 @@ def assign_atoms(decomposition: Hypertree, query: ConjunctiveQuery) -> None:
         target = min(candidates, key=lambda n: (len(n.chi), n.node_id))
         target.lam = target.lam + (atom.name,)
         present.add(atom.name)
+        assigned += 1
+    return assigned
 
 
 def procedure_optimize(decomposition: Hypertree) -> int:
@@ -165,23 +171,39 @@ def q_hypertree_decomp(
         raise DecompositionError(
             "query has no atoms with variables; nothing to decompose"
         )
-    model = cost_model or DecompositionCostModel.uniform(query)
-    result = cost_k_decomp(
-        hypergraph,
-        k,
-        model,
-        required_root_cover=query.output_variables,
-        output_weight=output_weight,
-        meter=meter,
-    )
-    if result is None:
-        raise DecompositionNotFound(
-            f"no hypertree decomposition of width ≤ {k} covers the output "
-            f"variables {sorted(query.output_variables)} at one node",
-            width=k,
+    tracer = current_tracer()
+    with tracer.span(
+        "decompose.qhd", meter=meter, k=k, atoms=len(query.atoms)
+    ) as qhd_span:
+        model = cost_model or DecompositionCostModel.uniform(query)
+        result = cost_k_decomp(
+            hypergraph,
+            k,
+            model,
+            required_root_cover=query.output_variables,
+            output_weight=output_weight,
+            meter=meter,
         )
-    decomposition, _cost = result
-    assign_atoms(decomposition, query)
-    if optimize:
-        procedure_optimize(decomposition)
+        if result is None:
+            raise DecompositionNotFound(
+                f"no hypertree decomposition of width ≤ {k} covers the output "
+                f"variables {sorted(query.output_variables)} at one node",
+                width=k,
+            )
+        decomposition, _cost = result
+        with tracer.span("decompose.assign", meter=meter) as span:
+            assigned = assign_atoms(decomposition, query)
+            span.tag(assigned=assigned)
+        if optimize:
+            with tracer.span("decompose.optimize", meter=meter) as span:
+                lambda_before = sum(
+                    len(node.lam) for node in decomposition.root.walk()
+                )
+                removed = procedure_optimize(decomposition)
+                span.tag(
+                    removed=removed,
+                    lambda_before=lambda_before,
+                    lambda_after=lambda_before - removed,
+                )
+        qhd_span.tag(width=decomposition.width, nodes=len(decomposition))
     return decomposition

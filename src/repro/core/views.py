@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import DecompositionError, QueryError
+from repro.obs.tracing import current_tracer
 from repro.query import ast
 from repro.query.translate import TranslationResult
 from repro.relational.schema import AttributeType, RelationSchema
@@ -88,6 +89,21 @@ def decomposition_to_sql_views(
         translation: the SQL→CQ translation context.
         view_prefix: prefix of generated view names.
     """
+    with current_tracer().span(
+        "views.generate",
+        nodes=len(decomposition),
+        width=decomposition.width,
+    ) as span:
+        plan = _build_view_plan(decomposition, translation, view_prefix)
+        span.tag(views=len(plan.views))
+    return plan
+
+
+def _build_view_plan(
+    decomposition: Hypertree,
+    translation: TranslationResult,
+    view_prefix: str,
+) -> SqlViewPlan:
     variables = sorted(translation.variable_bindings)
     columns = _sanitize_variables(variables)
     views: List[Tuple[str, str]] = []

@@ -32,6 +32,7 @@ from repro.engine.plan import JoinNode, PlanNode, ScanNode, render_plan
 from repro.engine.postprocess import apply_sql_semantics
 from repro.engine.scans import apply_residual_filters, atom_relations_sql
 from repro.metering import SpillModel, WorkMeter
+from repro.obs.tracing import NullTracer, Tracer, current_tracer
 from repro.query import ast
 from repro.query.parser import parse_sql
 from repro.query.translate import TranslationResult, sql_to_conjunctive
@@ -113,6 +114,9 @@ class DBMSResult:
         used_statistics: whether the optimizer consulted ANALYZE data.
         optimizer: label of the planner that produced the plan
             ("dp-bushy", "dp-leftdeep", "geqo", "syntactic", "q-hd").
+        work_breakdown: per-category work units (the run meter's
+            :meth:`~repro.metering.WorkMeter.snapshot`); feed it to
+            :func:`repro.metering.split_phases` for the per-phase view.
     """
 
     relation: Optional[Relation]
@@ -124,6 +128,30 @@ class DBMSResult:
     finished: bool
     used_statistics: bool
     optimizer: str
+    work_breakdown: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class AnalyzedExplain:
+    """EXPLAIN ANALYZE output: the annotated tree plus everything behind it.
+
+    Attributes:
+        text: the rendered operator tree with per-node actual rows, work
+            units, wall time, and estimation error, plus a totals footer.
+        plan: the executed plan tree.
+        result: the full :class:`DBMSResult` of the traced execution.
+        node_stats: per-node observed stats keyed by ``id(node)``.
+        tracer: the tracer holding the raw ``exec.*`` spans.
+    """
+
+    text: str
+    plan: PlanNode
+    result: DBMSResult
+    node_stats: Dict[object, object]
+    tracer: "Tracer"
+
+    def __str__(self) -> str:
+        return self.text
 
 
 class SimulatedDBMS:
@@ -241,6 +269,7 @@ class SimulatedDBMS:
             finished=finished,
             used_statistics=use_statistics,
             optimizer=label,
+            work_breakdown=meter.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +301,7 @@ class SimulatedDBMS:
             finished=finished,
             used_statistics=self.database.has_statistics(),
             optimizer=label,
+            work_breakdown=meter.snapshot(),
         )
 
     def plan_and_join(
@@ -291,6 +321,21 @@ class SimulatedDBMS:
             translation.query, self.database, translation, meter, push_filters=push
         )
 
+        plan, label = self._choose_plan(translation, estimator, optimizer_enabled)
+        joined = self._execute_plan(plan, base, meter)
+        if residual:
+            joined = apply_residual_filters(joined, residual, meter)
+        output = list(translation.query.output)
+        answer = joined.project(output, dedup=True, meter=meter)
+        return answer, render_plan(plan), label
+
+    def _choose_plan(
+        self,
+        translation: TranslationResult,
+        estimator: CardinalityEstimator,
+        optimizer_enabled: bool = True,
+    ) -> Tuple[PlanNode, str]:
+        """Run the profile's planner; returns (plan, planner label)."""
         n_relations = len(translation.query.atoms)
         if not optimizer_enabled:
             plan = syntactic_plan(translation, estimator)
@@ -311,14 +356,8 @@ class SimulatedDBMS:
                 translation, estimator, search=self.profile.search
             ).optimize()
             label = f"dp-{self.profile.search}"
-
         self._assign_join_algorithms(plan)
-        joined = self._execute_plan(plan, base, meter)
-        if residual:
-            joined = apply_residual_filters(joined, residual, meter)
-        output = list(translation.query.output)
-        answer = joined.project(output, dedup=True, meter=meter)
-        return answer, render_plan(plan), label
+        return plan, label
 
     def _assign_join_algorithms(self, plan: PlanNode) -> None:
         """Pick a physical operator per join from the profile + estimates."""
@@ -340,47 +379,142 @@ class SimulatedDBMS:
         plan: PlanNode,
         base: Mapping[str, Relation],
         meter: WorkMeter,
+        tracer: "Optional[Union[Tracer, NullTracer]]" = None,
     ) -> Relation:
+        if tracer is None:
+            tracer = current_tracer()
         if isinstance(plan, ScanNode):
-            relation = base[plan.alias]
-            meter.charge(len(relation), "scan")
+            with tracer.span(
+                "exec.scan",
+                meter=meter,
+                node=id(plan),
+                op=str(plan),
+                est_rows=plan.estimated_rows,
+            ) as span:
+                relation = base[plan.alias]
+                meter.charge(len(relation), "scan")
+                span.tag(rows_out=len(relation))
             return relation
         assert isinstance(plan, JoinNode)
-        left = self._execute_plan(plan.left, base, meter)
-        right = self._execute_plan(plan.right, base, meter)
-        if plan.algorithm == "merge" and not plan.is_cross_product:
-            joined = left.merge_join(right, meter=meter)
-        elif plan.algorithm == "nlj" and not plan.is_cross_product:
-            small, big = (left, right) if len(left) <= len(right) else (right, left)
-            joined = small.nested_loop_join(big, meter=meter)
-        else:
-            joined = left.natural_join(right, meter=meter)
-        if self.spill_model is not None:
-            self.spill_model.charge(meter, len(joined))
+        with tracer.span(
+            "exec.join",
+            meter=meter,
+            node=id(plan),
+            op=str(plan),
+            algorithm=plan.algorithm,
+            est_rows=plan.estimated_rows,
+        ) as span:
+            left = self._execute_plan(plan.left, base, meter, tracer)
+            right = self._execute_plan(plan.right, base, meter, tracer)
+            span.tag(rows_in_left=len(left), rows_in_right=len(right))
+            if plan.algorithm == "merge" and not plan.is_cross_product:
+                joined = left.merge_join(right, meter=meter)
+            elif plan.algorithm == "nlj" and not plan.is_cross_product:
+                small, big = (left, right) if len(left) <= len(right) else (right, left)
+                joined = small.nested_loop_join(big, meter=meter)
+            else:
+                joined = left.natural_join(right, meter=meter)
+            if self.spill_model is not None:
+                self.spill_model.charge(meter, len(joined))
+            span.tag(rows_out=len(joined))
         return joined
 
     # ------------------------------------------------------------------
 
     def explain(
         self,
-        sql: Union[str, ast.SelectQuery],
+        sql: Union[str, ast.SelectQuery, TranslationResult],
         use_statistics: Optional[bool] = None,
     ) -> str:
         """EXPLAIN without executing: render the chosen join plan."""
-        translation = self.translate(sql)
+        translation = (
+            sql if isinstance(sql, TranslationResult) else self.translate(sql)
+        )
         if use_statistics is None:
             use_statistics = self.database.has_statistics()
         context = EstimationContext.build(translation, self.database, use_statistics)
         estimator = CardinalityEstimator(context)
-        n_relations = len(translation.query.atoms)
-        if (
-            self.profile.geqo_threshold is not None
-            and n_relations >= self.profile.geqo_threshold
-        ):
-            plan = GeqoOptimizer(translation, estimator).optimize()
-        else:
-            plan = JoinOrderOptimizer(
-                translation, estimator, search=self.profile.search
-            ).optimize()
-        self._assign_join_algorithms(plan)
+        plan, _label = self._choose_plan(translation, estimator)
         return render_plan(plan)
+
+    def explain_analyze(
+        self,
+        sql: Union[str, ast.SelectQuery, TranslationResult],
+        use_statistics: Optional[bool] = None,
+        work_budget: Optional[int] = None,
+    ) -> "AnalyzedExplain":
+        """EXPLAIN ANALYZE: execute the chosen plan under tracing.
+
+        Plans exactly like :meth:`run_sql` with the built-in planner
+        (ignoring any installed structural handler — the point is to show
+        *this engine's* operator tree), executes it under a private
+        :class:`~repro.obs.tracing.Tracer`, and returns the operator tree
+        annotated with actual rows, work units, wall time, and the
+        estimated-vs-actual cardinality error per node.
+        """
+        from repro.obs.explain import render_analyzed_plan, stats_by_node
+
+        translation = (
+            sql if isinstance(sql, TranslationResult) else self.translate(sql)
+        )
+        if use_statistics is None:
+            use_statistics = self.database.has_statistics()
+        context = EstimationContext.build(translation, self.database, use_statistics)
+        estimator = CardinalityEstimator(context)
+        plan, label = self._choose_plan(translation, estimator)
+
+        tracer = Tracer()
+        meter = WorkMeter(budget=work_budget)
+        started = time.perf_counter()
+        try:
+            base, residual = atom_relations_sql(
+                translation.query,
+                self.database,
+                translation,
+                meter,
+                push_filters=True,
+            )
+            joined = self._execute_plan(plan, base, meter, tracer)
+            if residual:
+                joined = apply_residual_filters(joined, residual, meter)
+            answer = joined.project(
+                list(translation.query.output), dedup=True, meter=meter
+            )
+            final = apply_sql_semantics(answer, translation, meter)
+            finished = True
+        except WorkBudgetExceeded:
+            answer, final, finished = None, None, False
+        elapsed = time.perf_counter() - started
+        result = DBMSResult(
+            relation=final,
+            answer=answer,
+            work=meter.total,
+            simulated_seconds=meter.total * self.profile.work_time_factor,
+            elapsed_seconds=elapsed,
+            plan_text=render_plan(plan),
+            finished=finished,
+            used_statistics=use_statistics,
+            optimizer=label,
+            work_breakdown=meter.snapshot(),
+        )
+        stats = stats_by_node(tracer.spans())
+        text = render_analyzed_plan(plan, stats)
+        footer = [
+            "",
+            f"planner: {label}   total work: {meter.total} units   "
+            f"wall: {elapsed * 1000:.1f} ms",
+        ]
+        if final is not None:
+            footer.append(
+                f"answer rows: {len(final)}   "
+                f"(conjunctive answer: {len(answer)} rows)"
+            )
+        else:
+            footer.append("answer rows: DNF (work budget exhausted)")
+        return AnalyzedExplain(
+            text=text + "\n" + "\n".join(footer),
+            plan=plan,
+            result=result,
+            node_stats=stats,
+            tracer=tracer,
+        )

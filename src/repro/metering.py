@@ -76,6 +76,38 @@ class WorkMeter:
         return f"WorkMeter({self.total}{budget})"
 
 
+#: Meter categories charged during planning; everything else is execution.
+PLANNING_CATEGORIES = frozenset({"plan"})
+
+
+def split_phases(by_category: Dict[str, int]) -> Dict[str, int]:
+    """Split a per-category work breakdown into pipeline phases.
+
+    The structural pipeline has three phases: *decompose* (the cost-k-decomp
+    search, charged to the ``"plan"`` category), *optimize* (Procedure
+    Optimize — pure tree surgery that touches no tuples, so always 0 work
+    units), and *execute* (every tuple-touching category: scans, joins,
+    projections, spill penalties, post-processing).
+
+    Args:
+        by_category: a :meth:`WorkMeter.snapshot`-style mapping (a ``total``
+            key, if present, is ignored).
+
+    Returns:
+        ``{"decompose": …, "optimize": 0, "execute": …}``.
+    """
+    decompose = 0
+    execute = 0
+    for category, units in by_category.items():
+        if category == "total":
+            continue
+        if category in PLANNING_CATEGORIES:
+            decompose += units
+        else:
+            execute += units
+    return {"decompose": decompose, "optimize": 0, "execute": execute}
+
+
 class SpillModel:
     """Memory-pressure model: oversized intermediates cost extra work.
 

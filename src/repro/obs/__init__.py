@@ -1,0 +1,61 @@
+"""``repro.obs`` — the observability layer: tracing, metrics, EXPLAIN ANALYZE.
+
+Three dependency-free pieces, usable together or alone:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with wall time, work-unit
+  deltas (via :class:`~repro.metering.WorkMeter`), and tags, exported as
+  JSONL.  Disabled by default and zero-cost when disabled.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and fixed-bucket histograms; the serving layer's
+  :class:`~repro.service.metrics.ServiceMetrics` is built on it.
+* :mod:`repro.obs.explain` — EXPLAIN ANALYZE renderers: operator trees
+  annotated with actual rows, work units, time, and estimation error.
+"""
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_WORK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.explain import (
+    NodeStats,
+    estimation_error,
+    render_analyzed_decomposition,
+    render_analyzed_plan,
+    stats_by_node,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "current_tracer",
+    "set_tracer",
+    "tracing",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_WORK_BUCKETS",
+    "NodeStats",
+    "stats_by_node",
+    "estimation_error",
+    "render_analyzed_plan",
+    "render_analyzed_decomposition",
+]

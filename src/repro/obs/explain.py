@@ -1,0 +1,162 @@
+"""EXPLAIN ANALYZE: render executed plans annotated with observed reality.
+
+The engine's ``EXPLAIN`` shows estimated cardinalities; ``EXPLAIN ANALYZE``
+executes the plan under a :class:`~repro.obs.tracing.Tracer` and annotates
+every operator with what actually happened — rows produced, work units
+charged (inclusive of the subtree, like PostgreSQL's *actual time*), wall
+time, and the estimation error.  Two plan shapes are rendered:
+
+* the engine's binary join tree (:class:`repro.engine.plan.PlanNode`),
+  whose operators are traced as ``exec.scan`` / ``exec.join`` spans;
+* the q-hypertree decomposition (:class:`repro.core.hypertree.Hypertree`),
+  whose per-node evaluations are traced as ``qhd.node`` spans.
+
+Spans carry a ``node`` tag identifying the plan node, so the renderers
+here only match spans back to the tree — they never re-execute anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.engine.plan import JoinNode, PlanNode, ScanNode
+from repro.core.hypertree import Hypertree, HypertreeNode
+from repro.obs.tracing import Span
+
+__all__ = [
+    "NodeStats",
+    "stats_by_node",
+    "estimation_error",
+    "render_analyzed_plan",
+    "render_analyzed_decomposition",
+]
+
+
+@dataclass
+class NodeStats:
+    """Observed execution facts for one plan/decomposition node.
+
+    Attributes:
+        rows: tuples the node produced (``None`` when it never completed).
+        work_units: work charged while the node (and its subtree) ran.
+        seconds: wall time of the node (inclusive of its subtree).
+        est_rows: the optimizer's cardinality estimate, when available.
+    """
+
+    rows: Optional[int] = None
+    work_units: int = 0
+    seconds: float = 0.0
+    est_rows: Optional[float] = None
+
+    @classmethod
+    def from_span(cls, span: Span) -> "NodeStats":
+        return cls(
+            rows=span.tags.get("rows_out"),
+            work_units=span.work_units,
+            seconds=span.duration,
+            est_rows=span.tags.get("est_rows"),
+        )
+
+
+def stats_by_node(
+    spans: Iterable[Span], names: Iterable[str] = ("exec.scan", "exec.join")
+) -> Dict[object, NodeStats]:
+    """Index spans carrying a ``node`` tag by that tag value.
+
+    When a node was executed more than once (shouldn't happen inside a
+    single run), the last completed span wins.
+    """
+    wanted = frozenset(names)
+    stats: Dict[object, NodeStats] = {}
+    for span in spans:
+        if span.name in wanted and "node" in span.tags:
+            stats[span.tags["node"]] = NodeStats.from_span(span)
+    return stats
+
+
+def estimation_error(est_rows: Optional[float], rows: Optional[int]) -> str:
+    """Human-readable estimation error: ``×2.5 over``, ``×3.0 under``, ``✓``.
+
+    The factor is the larger of est/actual and actual/est; within 10% the
+    estimate counts as accurate.  Zero-row sides use 1 to stay finite.
+    """
+    if est_rows is None or rows is None:
+        return "?"
+    est = max(float(est_rows), 1.0)
+    actual = max(float(rows), 1.0)
+    if est >= actual:
+        factor, direction = est / actual, "over"
+    else:
+        factor, direction = actual / est, "under"
+    if factor <= 1.1:
+        return "✓"
+    return f"×{factor:.1f} {direction}"
+
+
+def _annotation(stats: Optional[NodeStats]) -> str:
+    if stats is None:
+        return "(not executed)"
+    rows = "?" if stats.rows is None else str(stats.rows)
+    est = "?" if stats.est_rows is None else f"{stats.est_rows:.0f}"
+    return (
+        f"(rows≈{est} actual={rows} [{estimation_error(stats.est_rows, stats.rows)}] "
+        f"work={stats.work_units} {stats.seconds * 1000:.2f}ms)"
+    )
+
+
+def render_analyzed_plan(
+    plan: PlanNode, stats: Mapping[object, NodeStats], indent: int = 0
+) -> str:
+    """The engine operator tree annotated with :class:`NodeStats`.
+
+    ``stats`` is keyed by ``id(node)`` — the ``node`` tag the instrumented
+    executors attach to their ``exec.*`` spans.
+    """
+    pad = "  " * indent
+    node_stats = stats.get(id(plan))
+    head = f"{pad}{plan}  {_annotation(node_stats)}"
+    if isinstance(plan, ScanNode):
+        return head
+    if isinstance(plan, JoinNode):
+        return "\n".join(
+            [
+                head,
+                render_analyzed_plan(plan.left, stats, indent + 1),
+                render_analyzed_plan(plan.right, stats, indent + 1),
+            ]
+        )
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def render_analyzed_decomposition(
+    decomposition: Hypertree, stats: Mapping[object, NodeStats]
+) -> str:
+    """The decomposition tree annotated per node with observed facts.
+
+    ``stats`` is keyed by ``HypertreeNode.node_id`` — the ``node`` tag the
+    :class:`~repro.core.evaluator.QHDEvaluator` attaches to ``qhd.node``
+    spans.
+    """
+    lines: List[str] = []
+
+    def visit(node: HypertreeNode, depth: int) -> None:
+        chi = ", ".join(sorted(node.chi))
+        lam = ", ".join(node.lam) if node.lam else "∅"
+        node_stats = stats.get(node.node_id)
+        if node_stats is None:
+            note = "(not executed)"
+        else:
+            rows = "?" if node_stats.rows is None else str(node_stats.rows)
+            note = (
+                f"(actual={rows} work={node_stats.work_units} "
+                f"{node_stats.seconds * 1000:.2f}ms)"
+            )
+        lines.append(
+            "  " * depth + f"[{node.node_id}] λ={{{lam}}} χ={{{chi}}}  {note}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(decomposition.root, 0)
+    return "\n".join(lines)

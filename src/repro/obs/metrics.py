@@ -1,0 +1,306 @@
+"""A unified metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (see :func:`get_registry`)
+replaces the ad-hoc lock-guarded counter classes that used to live in each
+subsystem: the serving layer's :class:`~repro.service.metrics.ServiceMetrics`
+is now a thin façade over instruments registered here, and anything else —
+the bench harness, the CLI, user code — can register its own instruments
+and read one consistent snapshot.
+
+Design points:
+
+* **thread-safe** — instruments take one lock per update; registration is
+  idempotent (asking for an existing name returns the same instrument,
+  asking for it with a different type raises).
+* **fixed buckets** — histograms count observations into cumulative
+  ``le``-style buckets chosen at registration, so snapshots are bounded
+  and mergeable; min/max/sum/count ride along.
+* **no ``inf`` leaks** — empty summaries snapshot ``min``/``max`` as 0.0
+  and expose ``minimum = None``, so JSON export never sees ``Infinity``.
+* **text or JSON** — :meth:`MetricsRegistry.snapshot` is a plain dict;
+  :meth:`MetricsRegistry.render_text` is a Prometheus-flavoured exposition
+  (``name{label="v"} value`` lines) for the CLI's metrics output.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_WORK_BUCKETS",
+]
+
+Number = Union[int, float]
+
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+"""Seconds-scale buckets for wall-clock latency histograms."""
+
+DEFAULT_WORK_BUCKETS: Tuple[float, ...] = (
+    100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000
+)
+"""Work-unit-scale buckets (tuples touched per query)."""
+
+
+class _Instrument:
+    """Common base: name, help text, and the update lock."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value (ints or floats)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Number:
+        value = self.value
+        return round(value, 6) if isinstance(value, float) else value
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depths, cache sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Number:
+        value = self.value
+        return round(value, 6) if isinstance(value, float) else value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution summary (cumulative ``le`` buckets).
+
+    Tracks count/sum/min/max plus one counter per bucket boundary; an
+    implicit ``+inf`` bucket equals ``count``.  ``minimum`` is ``None``
+    until the first observation — never ``inf`` — so merging and JSON
+    export are always safe.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[Number] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ):
+        super().__init__(name, help)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket boundary")
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bucket boundaries must be distinct")
+        self.buckets = ordered
+        self._counts = [0] * len(ordered)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+            for index, boundary in enumerate(self.buckets):
+                if value <= boundary:
+                    self._counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same buckets) into this one."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other.count, other.total
+            minimum, maximum = other.minimum, other.maximum
+        with self._lock:
+            self.count += count
+            self.total += total
+            for index, n in enumerate(counts):
+                self._counts[index] += n
+            if minimum is not None and (self.minimum is None or minimum < self.minimum):
+                self.minimum = minimum
+            if maximum is not None and (self.maximum is None or maximum > self.maximum):
+                self.maximum = maximum
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": round(self.total, 6),
+                "mean": round(self.total / self.count, 6) if self.count else 0.0,
+                "min": round(self.minimum, 6) if self.minimum is not None else 0.0,
+                "max": round(self.maximum, 6) if self.maximum is not None else 0.0,
+                "buckets": {
+                    _boundary_label(b): n
+                    for b, n in zip(self.buckets, self._counts)
+                },
+            }
+
+
+def _boundary_label(boundary: float) -> str:
+    return f"le_{boundary:g}"
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one consistent snapshot.
+
+    Registration is idempotent: ``counter("x")`` twice returns the same
+    :class:`Counter`; registering an existing name as a different
+    instrument type raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[Number] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._register(
+            name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+
+    def _register(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind.__name__.lower()}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def unregister(self, name: str) -> None:
+        """Drop one instrument (tests and scoped registries)."""
+        with self._lock:
+            self._instruments.pop(name, None)
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{name: value-or-histogram-dict}`` for every instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(instruments.items())
+        }
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured exposition of every instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: List[str] = []
+        for name, instrument in sorted(instruments.items()):
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            snap = instrument.snapshot()
+            if isinstance(snap, dict):  # histogram
+                for boundary, count in snap["buckets"].items():
+                    le = boundary[len("le_"):]
+                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+                lines.append(f"{name}_sum {snap['total']}")
+                lines.append(f"{name}_count {snap['count']}")
+            else:
+                lines.append(f"{name} {snap}")
+        return "\n".join(lines)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY

@@ -1,9 +1,20 @@
 """Serving-layer metrics: latency, work units, planning effort, cache hits.
 
-Every counter is guarded by one lock — the recording paths are called from
-pool workers concurrently.  :meth:`ServiceMetrics.snapshot` returns a plain
-nested dict, the stable surface the CLI (``hdqo serve`` / ``bench-serve``),
-``repro.bench.serving`` and the tests consume.
+:class:`ServiceMetrics` is a façade over a per-instance
+:class:`repro.obs.metrics.MetricsRegistry` — each counter/histogram is a
+registered instrument (``service_*`` names), so the same numbers are
+available three ways:
+
+* :meth:`ServiceMetrics.snapshot` — the stable nested dict the CLI
+  (``hdqo serve`` / ``bench-serve``), :mod:`repro.bench.serving` and the
+  tests consume (unchanged shape);
+* :meth:`ServiceMetrics.render_text` — Prometheus-flavoured exposition via
+  the registry;
+* ``ServiceMetrics().registry`` — direct instrument access for anything
+  else.
+
+The registry is per-instance (not the process-global one) so concurrent
+services — and tests — never share counters.
 """
 
 from __future__ import annotations
@@ -12,20 +23,26 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
 
 @dataclass
 class LatencyStat:
-    """Streaming summary of a duration/size distribution (no samples kept)."""
+    """Streaming summary of a duration/size distribution (no samples kept).
+
+    ``minimum`` is ``None`` until the first observation — never ``inf`` —
+    so merging summaries and exporting snapshots to JSON is always safe.
+    """
 
     count: int = 0
     total: float = 0.0
-    minimum: float = float("inf")
+    minimum: Optional[float] = None
     maximum: float = 0.0
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if value < self.minimum:
+        if self.minimum is None or value < self.minimum:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
@@ -34,12 +51,23 @@ class LatencyStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold another summary into this one (pool-worker aggregation)."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "count": self.count,
             "total": round(self.total, 6),
             "mean": round(self.mean, 6),
-            "min": round(self.minimum, 6) if self.count else 0.0,
+            "min": round(self.minimum, 6) if self.minimum is not None else 0.0,
             "max": round(self.maximum, 6),
         }
 
@@ -57,20 +85,98 @@ class ServiceMetrics:
     * **cache** — merged in from :meth:`PlanCache.snapshot` by the service.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        # One outer lock keeps multi-instrument updates (and snapshots)
+        # mutually consistent; the instruments' own locks make each safe
+        # for direct use too.
         self._lock = threading.Lock()
-        self.queries = 0
-        self.finished = 0
-        self.dnf = 0
-        self.errors = 0
-        self.rejected = 0
-        self.work_units = 0
-        self.latency = LatencyStat()
-        self.plans_built = 0
-        self.plans_cached = 0
-        self.plan_fallbacks = 0
-        self.planning_units = 0
-        self.planning_seconds = 0.0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._queries = reg.counter(
+            "service_queries_submitted_total", help="Queries accepted"
+        )
+        self._finished = reg.counter(
+            "service_queries_finished_total", help="Queries that completed"
+        )
+        self._dnf = reg.counter(
+            "service_queries_dnf_total", help="Queries that exhausted the budget"
+        )
+        self._errors = reg.counter(
+            "service_queries_errors_total", help="Queries that raised"
+        )
+        self._rejected = reg.counter(
+            "service_queries_rejected_total", help="Queries rejected at admission"
+        )
+        self._work_units = reg.counter(
+            "service_work_units_total", help="Execution work units charged"
+        )
+        self._latency = reg.histogram(
+            "service_latency_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="Per-query wall-clock latency",
+        )
+        self._plans_built = reg.counter(
+            "service_plans_built_total", help="Decompositions built fresh"
+        )
+        self._plans_cached = reg.counter(
+            "service_plans_cached_total", help="Decompositions served from cache"
+        )
+        self._plan_fallbacks = reg.counter(
+            "service_plan_fallbacks_total", help="Queries degraded to builtin"
+        )
+        self._planning_units = reg.counter(
+            "service_planning_work_units_total",
+            help='Deterministic "plan" work units spent searching',
+        )
+        self._planning_seconds = reg.counter(
+            "service_planning_seconds_total", help="Wall-clock planning time"
+        )
+
+    # -- legacy attribute surface (kept for callers and tests) -----------
+
+    @property
+    def queries(self) -> int:
+        return self._queries.value
+
+    @property
+    def finished(self) -> int:
+        return self._finished.value
+
+    @property
+    def dnf(self) -> int:
+        return self._dnf.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def work_units(self) -> int:
+        return self._work_units.value
+
+    @property
+    def plans_built(self) -> int:
+        return self._plans_built.value
+
+    @property
+    def plans_cached(self) -> int:
+        return self._plans_cached.value
+
+    @property
+    def plan_fallbacks(self) -> int:
+        return self._plan_fallbacks.value
+
+    @property
+    def planning_units(self) -> int:
+        return self._planning_units.value
+
+    @property
+    def planning_seconds(self) -> float:
+        return float(self._planning_seconds.value)
 
     # ------------------------------------------------------------------
 
@@ -78,22 +184,22 @@ class ServiceMetrics:
         self, *, finished: bool, work: int, seconds: float
     ) -> None:
         with self._lock:
-            self.queries += 1
+            self._queries.inc()
             if finished:
-                self.finished += 1
+                self._finished.inc()
             else:
-                self.dnf += 1
-            self.work_units += work
-            self.latency.observe(seconds)
+                self._dnf.inc()
+            self._work_units.inc(work)
+            self._latency.observe(seconds)
 
     def record_error(self) -> None:
         with self._lock:
-            self.queries += 1
-            self.errors += 1
+            self._queries.inc()
+            self._errors.inc()
 
     def record_rejection(self) -> None:
         with self._lock:
-            self.rejected += 1
+            self._rejected.inc()
 
     def record_plan(
         self,
@@ -114,13 +220,13 @@ class ServiceMetrics:
         """
         with self._lock:
             if cache_hit:
-                self.plans_cached += 1
+                self._plans_cached.inc()
             else:
-                self.plans_built += 1
+                self._plans_built.inc()
             if fallback:
-                self.plan_fallbacks += 1
-            self.planning_units += units
-            self.planning_seconds += seconds
+                self._plan_fallbacks.inc()
+            self._planning_units.inc(units)
+            self._planning_seconds.inc(seconds)
 
     # ------------------------------------------------------------------
 
@@ -132,25 +238,29 @@ class ServiceMetrics:
         with self._lock:
             data: Dict[str, object] = {
                 "queries": {
-                    "submitted": self.queries,
-                    "finished": self.finished,
-                    "dnf": self.dnf,
-                    "errors": self.errors,
-                    "rejected": self.rejected,
-                    "work_units": self.work_units,
+                    "submitted": self._queries.snapshot(),
+                    "finished": self._finished.snapshot(),
+                    "dnf": self._dnf.snapshot(),
+                    "errors": self._errors.snapshot(),
+                    "rejected": self._rejected.snapshot(),
+                    "work_units": self._work_units.snapshot(),
                 },
-                "latency_seconds": self.latency.snapshot(),
+                "latency_seconds": self._latency.snapshot(),
                 "planning": {
-                    "built": self.plans_built,
-                    "cache_hits": self.plans_cached,
-                    "fallbacks": self.plan_fallbacks,
-                    "work_units": self.planning_units,
-                    "seconds": round(self.planning_seconds, 6),
+                    "built": self._plans_built.snapshot(),
+                    "cache_hits": self._plans_cached.snapshot(),
+                    "fallbacks": self._plan_fallbacks.snapshot(),
+                    "work_units": self._planning_units.snapshot(),
+                    "seconds": round(float(self._planning_seconds.value), 6),
                 },
             }
         if cache is not None:
             data["cache"] = cache
         return data
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured exposition of the underlying registry."""
+        return self.registry.render_text()
 
 
 def render_snapshot(snapshot: Dict[str, object], indent: str = "") -> str:

@@ -1,0 +1,456 @@
+"""Tests for the observability subsystem: tracing, metrics, EXPLAIN ANALYZE."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+from repro.core.optimizer import HybridOptimizer
+from repro.metering import WorkMeter, split_phases
+from repro.obs.explain import estimation_error, stats_by_node
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.service.metrics import LatencyStat, ServiceMetrics
+from repro.service.server import QueryService
+from tests.conftest import CHAIN_SQL
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Completion order: inner closes first.
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_work_unit_delta(self):
+        tracer = Tracer()
+        meter = WorkMeter()
+        with tracer.span("work", meter=meter):
+            meter.charge(7, "join")
+        assert tracer.spans("work")[0].work_units == 7
+
+    def test_tags_and_chaining(self):
+        tracer = Tracer()
+        with tracer.span("t", k=4) as span:
+            span.tag(rows_out=3).tag(algorithm="hash")
+        record = tracer.spans()[0].to_record()
+        assert record["tags"] == {"k": 4, "rows_out": 3, "algorithm": "hash"}
+
+    def test_error_tagged(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        assert tracer.spans()[0].tags["error"] == "ValueError"
+
+    def test_jsonl_export_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", meter=None, n=1):
+            pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        record = json.loads(path.read_text().strip())
+        assert record["name"] == "a"
+        assert record["tags"] == {"n": 1}
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 1
+        assert json.loads(buffer.getvalue()) == record
+
+    def test_validate_clean(self):
+        tracer = Tracer()
+        with tracer.span("ok"):
+            pass
+        assert tracer.validate() == []
+
+    def test_validate_reports_open_span(self):
+        tracer = Tracer()
+        span = tracer.span("stuck")
+        span.__enter__()
+        problems = tracer.validate()
+        assert any("still open" in p for p in problems)
+        span.__exit__(None, None, None)
+        assert tracer.validate() == []
+
+    def test_retention_cap(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans()) == 2
+        assert tracer.dropped == 3
+
+    def test_null_tracer_is_default_and_inert(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", meter=WorkMeter(), k=1) as span:
+            assert span.tag(x=1) is span
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.validate() == []
+        assert NULL_TRACER.export_jsonl(io.StringIO()) == 0
+
+    def test_tracing_context_installs_and_restores(self):
+        assert isinstance(current_tracer(), NullTracer)
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            with tracing() as nested:
+                assert current_tracer() is nested
+            assert current_tracer() is tracer
+        assert isinstance(current_tracer(), NullTracer)
+
+    def test_set_tracer_none_disables(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert current_tracer() is NULL_TRACER
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(f"root-{name}"):
+                barrier.wait(timeout=5)
+                with tracer.span(f"child-{name}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"w{i}")
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert tracer.validate() == []
+        spans = {s.name: s for s in tracer.spans()}
+        for i in range(2):
+            assert spans[f"child-{i}"].parent_id == spans[f"root-{i}"].span_id
+            assert spans[f"root-{i}"].parent_id is None
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+    def test_histogram_buckets_and_summary(self):
+        histogram = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == {"le_1": 1, "le_10": 2, "le_100": 3}
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500
+        assert snap["mean"] == pytest.approx(138.875)
+
+    def test_histogram_empty_snapshot_has_no_inf(self):
+        snap = Histogram("h", buckets=(1,)).snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        json.dumps(snap)  # must be JSON-safe
+
+    def test_histogram_merge(self):
+        a = Histogram("a", buckets=(1, 10))
+        b = Histogram("b", buckets=(1, 10))
+        a.observe(0.5)
+        b.observe(20)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 2
+        assert snap["min"] == 0.5 and snap["max"] == 20
+        with pytest.raises(ValueError):
+            a.merge(Histogram("c", buckets=(2,)))
+
+    def test_registration_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1)
+        assert registry.names() == ["a", "b"]
+        assert registry.snapshot() == {"a": 1, "b": 2}
+        registry.unregister("a")
+        assert registry.names() == ["b"]
+
+    def test_render_text(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="All requests").inc(3)
+        registry.histogram("latency", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_text()
+        assert "# HELP requests_total All requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 1' in text
+        assert "latency_count 1" in text
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+# ---------------------------------------------------------------------------
+# LatencyStat / ServiceMetrics
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyStat:
+    def test_minimum_never_inf_in_snapshot(self):
+        stat = LatencyStat()
+        assert stat.minimum is None
+        snap = stat.snapshot()
+        assert snap["min"] == 0.0
+        # The historic bug: min serialized as Infinity in JSON exports.
+        assert "Infinity" not in json.dumps(snap)
+
+    def test_observe_and_merge(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.observe(2.0)
+        b.observe(0.5)
+        b.observe(4.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.minimum == 0.5
+        assert a.maximum == 4.0
+        assert a.mean == pytest.approx(6.5 / 3)
+
+    def test_merge_empty_keeps_minimum_none(self):
+        a, b = LatencyStat(), LatencyStat()
+        a.merge(b)
+        assert a.minimum is None
+        a.observe(1.0)
+        a.merge(LatencyStat())
+        assert a.minimum == 1.0
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape_preserved(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(finished=True, work=100, seconds=0.01)
+        metrics.record_plan(cache_hit=False, units=5, seconds=0.001)
+        snap = metrics.snapshot(cache={"capacity": 8})
+        assert snap["queries"]["submitted"] == 1
+        assert snap["queries"]["work_units"] == 100
+        assert snap["latency_seconds"]["count"] == 1
+        assert snap["planning"]["built"] == 1
+        assert snap["planning"]["work_units"] == 5
+        assert snap["cache"]["capacity"] == 8
+        json.dumps(snap)
+
+    def test_instances_do_not_share_instruments(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.record_query(finished=True, work=1, seconds=0.0)
+        assert b.queries == 0
+
+    def test_render_text_exposes_service_instruments(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(finished=False, work=2, seconds=0.5)
+        text = metrics.render_text()
+        assert "service_queries_submitted_total 1" in text
+        assert "service_queries_dnf_total 1" in text
+        assert "service_latency_seconds_count 1" in text
+
+
+# ---------------------------------------------------------------------------
+# Phase split
+# ---------------------------------------------------------------------------
+
+
+class TestSplitPhases:
+    def test_split(self):
+        phases = split_phases({"plan": 5, "scan": 10, "join": 20, "total": 35})
+        assert phases == {"decompose": 5, "optimize": 0, "execute": 30}
+
+    def test_empty(self):
+        assert split_phases({}) == {"decompose": 0, "optimize": 0, "execute": 0}
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: zero-cost guarantee, pool nesting, EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+class TestZeroCostWhenDisabled:
+    def test_identical_work_with_and_without_tracing(self, chain_db):
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        baseline = dbms.run_sql(CHAIN_SQL)
+        with tracing() as tracer:
+            traced = dbms.run_sql(CHAIN_SQL)
+        assert traced.work == baseline.work
+        assert traced.work_breakdown == baseline.work_breakdown
+        assert len(tracer.spans()) > 0
+        again = dbms.run_sql(CHAIN_SQL)  # tracer uninstalled again
+        assert again.work == baseline.work
+
+    def test_identical_qhd_work_with_and_without_tracing(self, chain_db):
+        plan = HybridOptimizer(chain_db, max_width=2).optimize(CHAIN_SQL)
+        baseline = plan.execute()
+        traced = plan.execute(tracer=Tracer())
+        assert traced.work == baseline.work
+        assert traced.work_breakdown == baseline.work_breakdown
+
+
+class TestPoolTracing:
+    def test_span_nesting_under_worker_pool(self, chain_db):
+        with QueryService(
+            SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=8
+        ) as service:
+            with tracing() as tracer:
+                results = service.run_all([CHAIN_SQL] * 16)
+        assert all(r.finished for r in results)
+        assert tracer.validate() == []
+        spans = tracer.spans()
+        assert len(spans) >= 32  # ≥ one plan + one execute span per query
+        assert len(tracer.spans("serve.execute")) == 16
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                # Parent-child pairs never cross threads.
+                assert by_id[span.parent_id].thread == span.thread
+        for child in tracer.spans("qhd.node"):
+            assert child.parent_id is not None
+
+    def test_traced_pool_run_charges_identical_work(self, chain_db):
+        with QueryService(
+            SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=4
+        ) as service:
+            plain = service.execute(CHAIN_SQL)
+            with tracing():
+                traced = service.execute(CHAIN_SQL)
+        assert traced.work == plain.work
+
+
+class TestExplainAnalyze:
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        from repro.workloads.tpch import generate_tpch_database
+        from repro.workloads.tpch_queries import query_q5
+
+        return (
+            generate_tpch_database(size_mb=20, seed=0, analyze=True),
+            query_q5(),
+        )
+
+    def test_engine_row_counts_match_actual_result(self, tpch):
+        database, sql = tpch
+        dbms = SimulatedDBMS(database, COMMDB_PROFILE)
+        analyzed = dbms.explain_analyze(sql)
+        result = dbms.run_sql(sql)
+        assert analyzed.result.finished
+        assert analyzed.result.work == result.work
+        assert analyzed.result.relation.same_content(result.relation)
+        assert f"answer rows: {len(result.relation)}" in analyzed.text
+        # Root operator's actual row count equals the conjunctive answer's
+        # pre-projection cardinality recorded in the root exec span.
+        root_stats = analyzed.node_stats[id(analyzed.plan)]
+        assert root_stats.rows is not None
+        assert "actual=" in analyzed.text
+        assert "work=" in analyzed.text
+
+    def test_estimation_error_annotations(self, tpch):
+        database, sql = tpch
+        dbms = SimulatedDBMS(database, COMMDB_PROFILE)
+        text = dbms.explain_analyze(sql).text
+        assert "rows≈" in text
+        assert "planner: " in text
+
+    def test_qhd_explain_analyze(self, tpch):
+        database, sql = tpch
+        plan = HybridOptimizer(database, max_width=3).optimize(sql)
+        executed = plan.execute()
+        text = plan.explain(analyze=True)
+        assert "λ=" in text
+        assert f"total work: {executed.work}" in text
+        assert f"answer rows: {len(executed.relation)}" in text
+        # Plain explain is unchanged.
+        assert plan.explain() == plan.decomposition.render()
+
+    def test_work_budget_dnf_explain(self, tpch):
+        database, sql = tpch
+        dbms = SimulatedDBMS(database, COMMDB_PROFILE)
+        analyzed = dbms.explain_analyze(sql, work_budget=10)
+        assert not analyzed.result.finished
+        assert "DNF" in analyzed.text
+
+
+class TestEstimationError:
+    def test_markers(self):
+        assert estimation_error(None, 5) == "?"
+        assert estimation_error(100, 100) == "✓"
+        assert estimation_error(100, 95) == "✓"
+        assert estimation_error(100, 10) == "×10.0 over"
+        assert estimation_error(10, 100) == "×10.0 under"
+        assert estimation_error(0, 0) == "✓"
+
+    def test_stats_by_node_filters_names(self):
+        tracer = Tracer()
+        with tracer.span("exec.scan", node=1, est_rows=10) as span:
+            span.tag(rows_out=8)
+        with tracer.span("other", node=2):
+            pass
+        stats = stats_by_node(tracer.spans())
+        assert set(stats) == {1}
+        assert stats[1].rows == 8
+        assert stats[1].est_rows == 10
