@@ -20,11 +20,15 @@ Quickstart::
 """
 
 from repro.errors import (
+    DeadlineExceeded,
     DecompositionError,
     DecompositionNotFound,
     ExecutionError,
     HypergraphError,
+    InjectedFault,
+    MemoryBudgetExceeded,
     OptimizationError,
+    QueryCancelled,
     QueryError,
     ReproError,
     SchemaError,
@@ -47,8 +51,18 @@ from repro.engine import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
 from repro.errors import ServiceClosed, ServiceError, ServiceOverloaded
 from repro.service import PlanCache, QueryService, ServiceMetrics
 from repro.obs import MetricsRegistry, Tracer, current_tracer, tracing
+from repro.resilience import (
+    CancellationToken,
+    CircuitBreaker,
+    Deadline,
+    ExecutionContext,
+    FaultInjector,
+    MemoryBudget,
+    current_context,
+    resilient,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ReproError",
@@ -58,6 +72,10 @@ __all__ = [
     "SchemaError",
     "ExecutionError",
     "WorkBudgetExceeded",
+    "DeadlineExceeded",
+    "QueryCancelled",
+    "MemoryBudgetExceeded",
+    "InjectedFault",
     "DecompositionError",
     "DecompositionNotFound",
     "OptimizationError",
@@ -91,5 +109,13 @@ __all__ = [
     "current_tracer",
     "tracing",
     "MetricsRegistry",
+    "Deadline",
+    "CancellationToken",
+    "ExecutionContext",
+    "MemoryBudget",
+    "FaultInjector",
+    "CircuitBreaker",
+    "current_context",
+    "resilient",
     "__version__",
 ]

@@ -19,7 +19,7 @@ cost-k-decomp search — machine-independent, like every other figure here.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.harness import ExperimentResult, RunRecord
 from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
@@ -90,13 +90,26 @@ def run_serving_throughput(
     seed: int = 7,
     workers: int = 8,
     repetitions: int = 0,
+    deadline_ms: "Optional[float]" = None,
+    inject: "Optional[str]" = None,
 ) -> ExperimentResult:
     """Cold vs warm repeated-template serving over a mixed workload.
 
     One record per (system, repetition-batch): ``work`` is the *planning*
     work of that batch (the quantity the cache amortizes); wall-clock
     throughput and cache counters ride along in ``extra``.
+
+    Args:
+        deadline_ms: per-query deadline; deadline misses surface as errors
+            and are counted in the ``deadline_misses`` extra.
+        inject: a FAULTSPEC string (``site:kind:rate[:param]``, comma
+            separated) driving a deterministic
+            :class:`~repro.resilience.faults.FaultInjector`; each service
+            run gets its own injector seeded from ``seed``.
     """
+    from repro.errors import ReproError
+    from repro.resilience.faults import FaultInjector
+
     repetitions = repetitions or (8 if scale == "quick" else 20)
     database, templates = serving_workload(scale, seed)
     result = ExperimentResult(
@@ -106,20 +119,33 @@ def run_serving_throughput(
     )
 
     for system, cache_capacity in (("cold", 0), ("warm", 128)):
+        injector = FaultInjector(inject, seed=seed) if inject else None
         service = QueryService(
             SimulatedDBMS(database, COMMDB_PROFILE),
             max_width=3,
             workers=workers,
             queue_capacity=max(32, workers * 4),
             cache_capacity=cache_capacity,
+            deadline_seconds=(
+                deadline_ms / 1000.0 if deadline_ms is not None else None
+            ),
+            fault_injector=injector,
         )
         try:
             queries = instantiate(templates, repetitions)
             started = time.perf_counter()
-            answers = service.run_all(queries)
+            outcomes = service.run_all(queries, return_exceptions=True)
             elapsed = time.perf_counter() - started
+            answers = [o for o in outcomes if not isinstance(o, Exception)]
+            errors = [o for o in outcomes if isinstance(o, Exception)]
+            if any(not isinstance(e, ReproError) for e in errors):
+                raise next(
+                    e for e in errors if not isinstance(e, ReproError)
+                )
             snapshot = service.snapshot()
             planning = snapshot["planning"]
+            resilience = snapshot["resilience"]
+            deadline_misses = resilience["deadline_misses"]
             result.add(
                 RunRecord(
                     system=system,
@@ -127,7 +153,8 @@ def run_serving_throughput(
                     work=planning["work_units"],
                     simulated_seconds=planning["seconds"],
                     elapsed_seconds=elapsed,
-                    finished=all(answer.finished for answer in answers),
+                    finished=bool(answers)
+                    and all(answer.finished for answer in answers),
                     answer_rows=sum(
                         len(answer.relation)
                         for answer in answers
@@ -136,8 +163,16 @@ def run_serving_throughput(
                     extra={
                         "plans_built": planning["built"],
                         "cache_hits": planning["cache_hits"],
+                        "fallbacks": planning["fallbacks"],
                         "queries": len(queries),
                         "throughput_qps": round(len(queries) / elapsed, 1),
+                        "errors": len(errors),
+                        "deadline_misses": deadline_misses,
+                        "deadline_miss_rate": round(
+                            deadline_misses / len(queries), 4
+                        ),
+                        "degraded_lower_k": resilience["degraded_lower_k"],
+                        "breaker_skips": resilience["breaker_skips"],
                     },
                     phase_work={
                         "decompose": planning["work_units"],

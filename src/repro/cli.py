@@ -149,11 +149,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     exports every span (``serve.plan``, ``serve.execute``, ``qhd.node``,
     ``exec.*``) as JSONL; ``--metrics-format`` picks the final snapshot
     rendering (human text, JSON, or Prometheus exposition).
+
+    SIGINT/SIGTERM trigger a graceful drain: no new queries start, queued
+    queries are cancelled, in-flight queries get ``--grace`` seconds to
+    finish, and the trace/metrics snapshot is still flushed before exit
+    (exit status 130).
     """
     import contextlib
     import json as json_module
+    import signal
 
     from repro.obs.tracing import tracing
+    from repro.resilience.faults import FaultInjector
     from repro.service.metrics import render_snapshot
     from repro.service.server import QueryService
 
@@ -170,6 +177,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("no queries on stdin", file=sys.stderr)
         return 1
 
+    injector = (
+        FaultInjector(args.inject, seed=args.seed) if args.inject else None
+    )
     service = QueryService(
         SimulatedDBMS(database, COMMDB_PROFILE),
         max_width=args.width,
@@ -177,13 +187,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         cache_capacity=args.cache_capacity,
         work_budget=args.budget,
+        deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        fault_injector=injector,
     )
     exit_code = 0
+    tracer = None
     trace_scope = tracing() if args.trace else contextlib.nullcontext(None)
+
+    def _on_signal(signum, frame):  # pragma: no cover - exercised via tests
+        raise KeyboardInterrupt
+
+    old_handlers = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            old_handlers[sig] = signal.signal(sig, _on_signal)
+        except (ValueError, OSError):
+            pass  # not the main thread (tests) or unsupported platform
     try:
-        with trace_scope as tracer:
+        with trace_scope as active_tracer:
+            tracer = active_tracer
             print(f"{'#':>3} {'optimizer':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
-            outcomes = service.run_all(queries, return_exceptions=True)
+            try:
+                outcomes = service.run_all(queries, return_exceptions=True)
+            except KeyboardInterrupt:
+                exit_code = 130
+                print(
+                    "\ninterrupted: draining in-flight queries "
+                    f"(grace {args.grace:.1f}s)...",
+                    file=sys.stderr,
+                )
+                outcomes = []
             for index, result in enumerate(outcomes, 1):
                 if isinstance(result, Exception):
                     print(f"{index:>3} error: {result}")
@@ -197,6 +232,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 )
                 if not result.finished:
                     exit_code = 2
+    finally:
+        for sig, handler in old_handlers.items():
+            signal.signal(sig, handler)
+        # Stop accepting work and drain before flushing observability, so
+        # the exported trace and metrics cover every query that ran.
+        if exit_code == 130:
+            drained = service.drain(grace_seconds=args.grace)
+            if not drained:
+                print(
+                    "warning: some workers did not finish within the grace "
+                    "period",
+                    file=sys.stderr,
+                )
+        else:
+            service.close()
         if tracer is not None:
             exported = tracer.export_jsonl(args.trace)
             problems = tracer.validate()
@@ -204,7 +254,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"trace: {exported} spans -> {args.trace}")
             for problem in problems:
                 print(f"trace problem: {problem}", file=sys.stderr)
-                exit_code = 2
+                if exit_code == 0:
+                    exit_code = 2
         print()
         snapshot = service.snapshot()
         if args.metrics_format == "json":
@@ -213,8 +264,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(service.metrics.render_text())
         else:
             print(render_snapshot(snapshot))
-    finally:
-        service.close()
     return exit_code
 
 
@@ -222,7 +271,11 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.bench.serving import run_serving_throughput
 
     result = run_serving_throughput(
-        scale=args.scale, workers=args.workers, repetitions=args.repetitions
+        scale=args.scale,
+        workers=args.workers,
+        repetitions=args.repetitions,
+        deadline_ms=args.deadline_ms,
+        inject=args.inject,
     )
     print(render_series_table(result, metric="work", point_label="repetitions"))
     cold = result.series("cold")[-1]
@@ -243,6 +296,23 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         f"throughput:    cold={cold.extra['throughput_qps']} q/s  "
         f"warm={warm.extra['throughput_qps']} q/s"
     )
+    print(
+        f"fallbacks:     cold={cold.extra['fallbacks']}  "
+        f"warm={warm.extra['fallbacks']}  "
+        f"(lower-k: cold={cold.extra['degraded_lower_k']} "
+        f"warm={warm.extra['degraded_lower_k']})"
+    )
+    if args.deadline_ms is not None or args.inject:
+        print(
+            f"deadline miss: cold={cold.extra['deadline_miss_rate']:.2%} "
+            f"({cold.extra['deadline_misses']})  "
+            f"warm={warm.extra['deadline_miss_rate']:.2%} "
+            f"({warm.extra['deadline_misses']})"
+        )
+        print(
+            f"errors:        cold={cold.extra['errors']}  "
+            f"warm={warm.extra['errors']}"
+        )
     if cold.phase_work and warm.phase_work:
         print(
             "phase work:    "
@@ -369,6 +439,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="rendering of the final metrics snapshot",
     )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query wall-clock deadline in milliseconds",
+    )
+    p.add_argument(
+        "--inject",
+        metavar="FAULTSPEC",
+        default=None,
+        help="deterministic fault injection: site:kind:rate[:param], "
+        "comma separated (e.g. 'exec.join:error:0.1,decompose.search:latency:0.05:20')",
+    )
+    p.add_argument(
+        "--grace",
+        type=float,
+        default=5.0,
+        help="drain grace period (seconds) on SIGINT/SIGTERM",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -379,6 +468,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=8)
     p.add_argument(
         "--repetitions", type=int, default=0, help="0 = scale default"
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query wall-clock deadline in milliseconds",
+    )
+    p.add_argument(
+        "--inject",
+        metavar="FAULTSPEC",
+        default=None,
+        help="deterministic fault injection: site:kind:rate[:param]",
     )
     p.set_defaults(func=cmd_bench_serve)
     return parser

@@ -21,6 +21,7 @@ from repro.errors import DecompositionError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.metering import NULL_METER, WorkMeter
 from repro.obs.tracing import current_tracer
+from repro.resilience.context import current_context
 from repro.core.costmodel import DecompositionCostModel, JoinEstimate
 from repro.core.detkdecomp import _candidate_separators, _split
 from repro.core.hypertree import Hypertree, HypertreeNode
@@ -87,6 +88,10 @@ class CostKDecomp:
         self.candidates = 0
         self.pruned = 0
         self.memo_hits = 0
+        # The search is exponential in k; every candidate separator is a
+        # cooperative abort point (deadline/cancel/fault) for the serving
+        # layer's resilience context.
+        self._context = current_context()
 
     # ------------------------------------------------------------------
 
@@ -157,6 +162,7 @@ class CostKDecomp:
         for lam in _candidate_separators(
             self.hypergraph, component, connector, self.k
         ):
+            self._context.checkpoint("decompose.search")
             self.meter.charge(1, "plan")
             self.candidates += 1
             lam_vars = self.hypergraph.variables_of(lam)

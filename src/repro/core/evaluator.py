@@ -37,6 +37,7 @@ from repro.metering import NULL_METER, SpillModel, WorkMeter
 from repro.obs.tracing import NullTracer, Tracer, current_tracer
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.relational.relation import Relation
+from repro.resilience.context import current_context
 from repro.core.hypertree import Hypertree, HypertreeNode
 
 # ---------------------------------------------------------------------------
@@ -225,6 +226,7 @@ class QHDEvaluator:
         relations: Mapping[str, Relation],
         keep: "Optional[FrozenSet[str]]" = None,
     ) -> Optional[Relation]:
+        current_context().checkpoint("exec.qhd")
         with self.tracer.span(
             "qhd.node",
             meter=self.meter,
@@ -278,10 +280,12 @@ class QHDEvaluator:
         # Guard children are folded first (the §4.1 soundness caveat); the
         # remaining sources greedily — smallest among those sharing a
         # variable with the current result, to avoid cartesian steps.
+        context = current_context()
         rel: Optional[Relation] = None
         pending = sorted(guard_rels, key=len) + sorted(other_rels, key=len)
         n_guards = len(guard_rels)
         while pending:
+            context.checkpoint("exec.qhd")
             if n_guards > 0 or rel is None:
                 index = 0
                 n_guards = max(n_guards - 1, 0)
@@ -297,6 +301,7 @@ class QHDEvaluator:
                 )
             source = pending.pop(index)
             rel = source if rel is None else rel.natural_join(source, meter=self.meter)
+            context.account(len(rel), len(rel.attributes), "exec.qhd")
             if self.spill is not None:
                 self.spill.charge(self.meter, len(rel))
             linking: set = set()

@@ -31,13 +31,21 @@ import threading
 import time
 from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.errors import DecompositionNotFound
+from repro.errors import (
+    DeadlineExceeded,
+    DecompositionNotFound,
+    InjectedFault,
+    MemoryBudgetExceeded,
+    WorkBudgetExceeded,
+)
 from repro.engine.dbms import OptimizerHandler, SimulatedDBMS
 from repro.engine.scans import atom_relations
 from repro.metering import WorkMeter
 from repro.obs.tracing import current_tracer
 from repro.query.translate import TranslationResult
 from repro.relational.relation import Relation
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.context import current_context
 from repro.core.costmodel import DecompositionCostModel
 from repro.core.evaluator import QHDEvaluator
 from repro.core.optimizer import cost_model_from_database
@@ -49,6 +57,16 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 
 _MODEL_CACHE_LIMIT = 256
 
+#: Planning failures the degradation ladder absorbs.  Anything else (schema
+#: errors, query errors, genuine bugs) propagates to the caller untouched.
+_LADDER_ERRORS = (
+    DecompositionNotFound,
+    DeadlineExceeded,
+    WorkBudgetExceeded,
+    MemoryBudgetExceeded,
+    InjectedFault,
+)
+
 
 def install_structural_optimizer(
     dbms: SimulatedDBMS,
@@ -57,6 +75,7 @@ def install_structural_optimizer(
     optimize: bool = True,
     plan_cache: "Optional[PlanCache]" = None,
     metrics: "Optional[ServiceMetrics]" = None,
+    breaker: "Optional[CircuitBreaker]" = None,
 ) -> OptimizerHandler:
     """Replace the engine's optimizer handler with the structural pipeline.
 
@@ -73,6 +92,19 @@ def install_structural_optimizer(
             version.
         metrics: a :class:`repro.service.metrics.ServiceMetrics` receiving
             one planning event per handled query.
+        breaker: a :class:`repro.resilience.breaker.CircuitBreaker` keyed
+            by template fingerprint; templates whose planning keeps failing
+            skip the cost-k-decomp search (straight to the ladder's
+            fallback steps) until the cooldown elapses.
+
+    The installed handler plans through a **degradation ladder**: (1) the
+    cost-k-decomp search at ``max_width`` (cache-accelerated); on failure
+    — no decomposition, deadline, work/memory budget, injected fault —
+    (2) a cached structural plan at a *smaller* width bound (lookup +
+    rename only, never a new search); (3) the built-in quantitative
+    planner; (4) the original typed error.  Every step taken is recorded
+    on the ``serve.plan`` span (``degraded_to``, ``breaker_open`` tags)
+    and as a :class:`ServiceMetrics` counter.
 
     Returns:
         The installed handler (also retained on the DBMS); call
@@ -111,6 +143,48 @@ def install_structural_optimizer(
             model_cache[key] = model
         return model
 
+    def _fingerprint(
+        engine: SimulatedDBMS,
+        translation: TranslationResult,
+        use_stats: bool,
+        k: int,
+    ):
+        """The canonical template fingerprint for a given width bound."""
+        from repro.service.fingerprint import fingerprint_translation, schema_digest
+
+        context = (
+            f"schema={schema_digest(engine.database)};k={k};"
+            f"opt={optimize};stats={use_stats}"
+        )
+        return fingerprint_translation(translation, context=context)
+
+    def _cached_lower_k(
+        engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool
+    ):
+        """Ladder step 2: a cached decomposition at a smaller width bound.
+
+        Lookup + rename only — never triggers a new search, so this step is
+        effectively free.  Returns ``(decomposition, k)`` or ``(None, None)``.
+        """
+        from repro.service.fingerprint import rename_hypertree
+
+        if plan_cache is None or plan_cache.capacity == 0:
+            return None, None
+        stats_version = engine.database.stats_version
+        for lower in range(max_width - 1, 0, -1):
+            fingerprint = _fingerprint(engine, translation, use_stats, lower)
+            entry = plan_cache.lookup(fingerprint, stats_version)
+            if entry is None or entry.failure:
+                continue
+            decomposition = rename_hypertree(
+                entry.tree,
+                fingerprint.inverse_var_map(),
+                fingerprint.inverse_atom_map(),
+                hypergraph=translation.query.hypergraph(),
+            )
+            return decomposition, lower
+        return None, None
+
     def _structural_plan(
         engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool
     ):
@@ -119,11 +193,7 @@ def install_structural_optimizer(
         Returns ``(decomposition_or_None, cache_hit, plan_units, seconds)``
         where ``None`` means "no width-≤k decomposition exists".
         """
-        from repro.service.fingerprint import (
-            fingerprint_translation,
-            rename_hypertree,
-            schema_digest,
-        )
+        from repro.service.fingerprint import rename_hypertree
 
         started = time.perf_counter()
         stats_version = engine.database.stats_version
@@ -160,11 +230,8 @@ def install_structural_optimizer(
             # single-flight coalescing, plan every query independently.
             return build_fresh()
 
-        context = (
-            f"schema={schema_digest(engine.database)};k={max_width};"
-            f"opt={optimize};stats={use_stats}"
-        )
-        fingerprint = fingerprint_translation(translation, context=context)
+        fingerprint = _fingerprint(engine, translation, use_stats, max_width)
+        current_context().checkpoint("plancache.get")
         entry = plan_cache.lookup(fingerprint, stats_version)
         if entry is None:
             # Single-flight: concurrent misses on one template coalesce —
@@ -192,22 +259,61 @@ def install_structural_optimizer(
     ) -> Tuple[Relation, str, str]:
         tracer = current_tracer()
         use_stats = engine.database.has_statistics()
+        decomposition = None
+        cache_hit = False
+        lower_k = None
+        failure: Optional[BaseException] = None
+        breaker_key = None
         with tracer.span("serve.plan", query=translation.query.name) as span:
-            try:
-                decomposition, cache_hit, plan_units, plan_seconds = (
-                    _structural_plan(engine, translation, use_stats)
+            # Ladder step 1: cost-k-decomp at max_width — unless this
+            # template's breaker is open (repeated planning failures).
+            skip_search = False
+            if breaker is not None:
+                breaker_key = _fingerprint(
+                    engine, translation, use_stats, max_width
+                ).key
+                if not breaker.allow(breaker_key):
+                    skip_search = True
+                    span.tag(breaker_open=True)
+                    if metrics is not None:
+                        metrics.record_breaker_skip()
+            if not skip_search:
+                try:
+                    decomposition, cache_hit, plan_units, plan_seconds = (
+                        _structural_plan(engine, translation, use_stats)
+                    )
+                except _LADDER_ERRORS as exc:
+                    failure = exc
+                    span.tag(cache_hit=False, error=type(exc).__name__)
+                    if breaker is not None:
+                        breaker.record_failure(breaker_key)
+                else:
+                    span.tag(cache_hit=cache_hit, plan_units=plan_units)
+                    if breaker is not None:
+                        breaker.record_success(breaker_key)
+            if decomposition is None:
+                # Ladder step 2: a cached plan at a smaller width bound.
+                decomposition, lower_k = _cached_lower_k(
+                    engine, translation, use_stats
                 )
-            except DecompositionNotFound as exc:
-                span.tag(cache_hit=False, fallback=True)
-                decomposition, not_found = None, exc
-            else:
-                not_found = None
-                span.tag(cache_hit=cache_hit, plan_units=plan_units)
-        if not_found is not None:
+                if decomposition is not None:
+                    span.tag(degraded_to=f"lower-k({lower_k})")
+                elif fallback_to_builtin:
+                    span.tag(degraded_to="builtin", fallback=True)
+
+        if decomposition is None:
+            # Ladder step 3: the built-in quantitative planner; step 4: the
+            # original typed error when fallback is disabled.
             if metrics is not None:
                 metrics.record_plan(cache_hit=False, fallback=True)
             if not fallback_to_builtin:
-                raise not_found
+                if failure is not None:
+                    raise failure
+                raise DecompositionNotFound(
+                    "circuit breaker open for this template and no cached "
+                    "lower-width plan available",
+                    width=max_width,
+                )
             answer, plan_text, label = engine.plan_and_join(
                 translation, meter, use_stats, optimizer_enabled=True
             )
@@ -217,9 +323,13 @@ def install_structural_optimizer(
                 "builtin-fallback",
             )
         if metrics is not None:
-            metrics.record_plan(
-                cache_hit=cache_hit, units=plan_units, seconds=plan_seconds
-            )
+            if lower_k is not None:
+                metrics.record_plan(cache_hit=True)
+                metrics.record_degradation("lower-k")
+            else:
+                metrics.record_plan(
+                    cache_hit=cache_hit, units=plan_units, seconds=plan_seconds
+                )
         with tracer.span(
             "serve.execute",
             meter=meter,
@@ -238,7 +348,10 @@ def install_structural_optimizer(
             )
             answer = evaluator.evaluate(base)
             span.tag(rows_out=len(answer))
-        label = "q-hd(cached)" if cache_hit else "q-hd"
+        if lower_k is not None:
+            label = f"q-hd(k={lower_k})"
+        else:
+            label = "q-hd(cached)" if cache_hit else "q-hd"
         return answer, decomposition.render(), label
 
     dbms.set_optimizer_handler(handler)

@@ -29,6 +29,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.metering import NULL_METER, WorkMeter
 from repro.obs.tracing import current_tracer
 from repro.query.conjunctive import ConjunctiveQuery
+from repro.resilience.context import current_context
 from repro.core.costkdecomp import cost_k_decomp
 from repro.core.costmodel import DecompositionCostModel
 from repro.core.detkdecomp import det_k_decomp
@@ -47,12 +48,14 @@ def assign_atoms(decomposition: Hypertree, query: ConjunctiveQuery) -> int:
 
     Returns the number of atoms newly assigned to a λ label.
     """
+    context = current_context()
     assigned = 0
     present = set()
     for node in decomposition.root.walk():
         present.update(node.lam)
     hypergraph = decomposition.hypergraph
     for atom in query.atoms:
+        context.checkpoint("decompose.assign")
         if atom.name in present:
             continue
         if not hypergraph.has_edge(atom.name):
@@ -89,6 +92,7 @@ def procedure_optimize(decomposition: Hypertree) -> int:
     guard.  The last remaining occurrence of an atom in the whole tree is
     never removed (soundness; see module docstring).
     """
+    context = current_context()
     hypergraph = decomposition.hypergraph
     occurrences: Dict[str, int] = {}
     for node in decomposition.root.walk():
@@ -99,6 +103,7 @@ def procedure_optimize(decomposition: Hypertree) -> int:
 
     def optimize(node: HypertreeNode) -> None:
         nonlocal removed
+        context.checkpoint("decompose.optimize")
         kept: List[str] = []
         for atom_name in node.lam:
             guard = _find_guard(hypergraph, node, atom_name)

@@ -23,8 +23,9 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import DecompositionError, QueryError
+from repro.errors import DecompositionError, QueryError, WorkBudgetExceeded
 from repro.obs.tracing import current_tracer
+from repro.resilience.context import current_context
 from repro.query import ast
 from repro.query.translate import TranslationResult
 from repro.relational.schema import AttributeType, RelationSchema
@@ -111,7 +112,10 @@ def _build_view_plan(
     def view_name(node: HypertreeNode) -> str:
         return f"{view_prefix}_{node.node_id}"
 
+    context = current_context()
+
     def build(node: HypertreeNode) -> str:
+        context.checkpoint("views.generate")
         for child in node.children:
             build(child)
 
@@ -267,7 +271,9 @@ def _rewrite_order_expr(
     raise QueryError(f"ORDER BY supports plain columns/aliases, got {expression}")
 
 
-def execute_view_plan(view_plan: SqlViewPlan, dbms) -> "DBMSResultLike":
+def execute_view_plan(
+    view_plan: SqlViewPlan, dbms, work_budget: "Optional[int]" = None
+) -> "DBMSResultLike":
     """Run the view stack on a :class:`repro.engine.dbms.SimulatedDBMS`.
 
     Materializes each view (in dependency order) as a temporary table, runs
@@ -275,26 +281,58 @@ def execute_view_plan(view_plan: SqlViewPlan, dbms) -> "DBMSResultLike":
     statements are summed — this is what the paper's stand-alone "q-HD on
     top of CommDB" total execution time measures (optimization time plus
     DBMS evaluation time).
+
+    Args:
+        work_budget: total work-unit budget across *all* statements; each
+            statement runs under the remaining balance, so the stack aborts
+            mid-view (raising :class:`~repro.errors.WorkBudgetExceeded`
+            with the cumulative spend) rather than enforcing the budget
+            only at statement boundaries.
     """
+    context = current_context()
     created: List[str] = []
     total_work = 0
     total_elapsed = 0.0
     try:
         for name, sql in view_plan.views:
-            result = dbms.run_sql(sql, bypass_handler=True)
+            context.checkpoint("views.execute")
+            remaining = None
+            if work_budget is not None:
+                remaining = work_budget - total_work
+                if remaining <= 0:
+                    raise WorkBudgetExceeded(
+                        work_budget, total_work, phase="views.execute"
+                    )
+            result = dbms.run_sql(sql, bypass_handler=True, work_budget=remaining)
+            total_work += result.work
+            total_elapsed += result.elapsed_seconds
+            if not result.finished:
+                raise WorkBudgetExceeded(
+                    work_budget, total_work, phase="views.execute"
+                )
             relation = result.relation
             if relation is None:
                 raise QueryError(f"view {name} did not finish")
-            total_work += result.work
-            total_elapsed += result.elapsed_seconds
             schema = RelationSchema.of(
                 name, {attr: AttributeType.STRING for attr in relation.attributes}
             )
             dbms.database.create_table(schema, relation.tuples)
             created.append(name)
-        final = dbms.run_sql(view_plan.final_sql, bypass_handler=True)
+        context.checkpoint("views.execute")
+        remaining = None
+        if work_budget is not None:
+            remaining = work_budget - total_work
+            if remaining <= 0:
+                raise WorkBudgetExceeded(
+                    work_budget, total_work, phase="views.execute"
+                )
+        final = dbms.run_sql(
+            view_plan.final_sql, bypass_handler=True, work_budget=remaining
+        )
         total_work += final.work
         total_elapsed += final.elapsed_seconds
+        if not final.finished:
+            raise WorkBudgetExceeded(work_budget, total_work, phase="views.execute")
         final.work = total_work
         final.elapsed_seconds = total_elapsed
         final.simulated_seconds = total_work * dbms.profile.work_time_factor

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.errors import OptimizationError, WorkBudgetExceeded
+from repro.errors import WorkBudgetExceeded
 from repro.engine.cost import CardinalityEstimator, EstimationContext
 from repro.engine.executor import ExecutionResult
 from repro.engine.geqo import GeqoOptimizer
@@ -33,6 +33,7 @@ from repro.engine.postprocess import apply_sql_semantics
 from repro.engine.scans import apply_residual_filters, atom_relations_sql
 from repro.metering import SpillModel, WorkMeter
 from repro.obs.tracing import NullTracer, Tracer, current_tracer
+from repro.resilience.context import current_context
 from repro.query import ast
 from repro.query.parser import parse_sql
 from repro.query.translate import TranslationResult, sql_to_conjunctive
@@ -190,7 +191,10 @@ class SimulatedDBMS:
     # ------------------------------------------------------------------
 
     def translate(
-        self, sql: Union[str, ast.SelectQuery], name: str = "Q"
+        self,
+        sql: Union[str, ast.SelectQuery],
+        name: str = "Q",
+        work_budget: Optional[int] = None,
     ) -> TranslationResult:
         """Parse (if needed) and translate a query against this database.
 
@@ -198,6 +202,10 @@ class SimulatedDBMS:
         executed once (through this engine, bypassing any structural
         handler) and replaced by the IN-list of its answers — so the
         conjunctive pipeline only ever sees flat queries.
+
+        Args:
+            work_budget: work-unit budget applied to subquery executions,
+                so flattening cannot escape an outer query's budget.
         """
         from repro.query.subqueries import flatten_subqueries, has_subqueries
 
@@ -205,10 +213,14 @@ class SimulatedDBMS:
         schema = self.database.schema.as_mapping()
         if has_subqueries(query):
             def run_subquery(subquery: ast.SelectQuery):
-                result = self.run_sql(subquery, bypass_handler=True)
+                result = self.run_sql(
+                    subquery, bypass_handler=True, work_budget=work_budget
+                )
                 relation = result.relation
                 if relation is None:
-                    raise OptimizationError("subquery execution did not finish")
+                    raise WorkBudgetExceeded(
+                        work_budget or 0, result.work, phase="translate.subquery"
+                    )
                 return [row[0] for row in relation.tuples]
 
             query = flatten_subqueries(query, run_subquery, schema)
@@ -239,7 +251,9 @@ class SimulatedDBMS:
                 built-in engine).
         """
         translation = (
-            sql if isinstance(sql, TranslationResult) else self.translate(sql)
+            sql
+            if isinstance(sql, TranslationResult)
+            else self.translate(sql, work_budget=work_budget)
         )
         if use_statistics is None:
             use_statistics = self.database.has_statistics()
@@ -383,7 +397,9 @@ class SimulatedDBMS:
     ) -> Relation:
         if tracer is None:
             tracer = current_tracer()
+        context = current_context()
         if isinstance(plan, ScanNode):
+            context.checkpoint("exec.scan")
             with tracer.span(
                 "exec.scan",
                 meter=meter,
@@ -396,6 +412,7 @@ class SimulatedDBMS:
                 span.tag(rows_out=len(relation))
             return relation
         assert isinstance(plan, JoinNode)
+        context.checkpoint("exec.join")
         with tracer.span(
             "exec.join",
             meter=meter,
@@ -414,6 +431,7 @@ class SimulatedDBMS:
                 joined = small.nested_loop_join(big, meter=meter)
             else:
                 joined = left.natural_join(right, meter=meter)
+            context.account(len(joined), len(joined.attributes), "exec.join")
             if self.spill_model is not None:
                 self.spill_model.charge(meter, len(joined))
             span.tag(rows_out=len(joined))

@@ -23,6 +23,7 @@ from repro.errors import ExecutionError
 from repro.engine.plan import JoinNode, PlanNode, ScanNode, render_plan
 from repro.metering import NULL_METER, WorkMeter
 from repro.obs.tracing import NullTracer, Tracer, current_tracer
+from repro.resilience.context import current_context
 from repro.relational.relation import Relation
 
 
@@ -66,8 +67,16 @@ class PlanExecutor:
         self.tracer = tracer if tracer is not None else current_tracer()
 
     def execute(self, plan: PlanNode) -> Relation:
-        """Evaluate the plan bottom-up; raises on budget exhaustion."""
+        """Evaluate the plan bottom-up; raises on budget exhaustion.
+
+        Every operator entry is a cooperative checkpoint (deadline, cancel,
+        fault injection), and every materialized join intermediate is
+        accounted to the context's memory budget — a runaway plan aborts
+        deterministically with a typed error instead of exhausting RAM.
+        """
+        context = current_context()
         if isinstance(plan, ScanNode):
+            context.checkpoint("exec.scan")
             with self.tracer.span(
                 "exec.scan",
                 meter=self.meter,
@@ -85,6 +94,7 @@ class PlanExecutor:
                 span.tag(rows_out=len(relation))
             return relation
         if isinstance(plan, JoinNode):
+            context.checkpoint("exec.join")
             with self.tracer.span(
                 "exec.join",
                 meter=self.meter,
@@ -97,6 +107,9 @@ class PlanExecutor:
                 right = self.execute(plan.right)
                 span.tag(rows_in_left=len(left), rows_in_right=len(right))
                 joined = left.natural_join(right, meter=self.meter)
+                context.account(
+                    len(joined), len(joined.attributes), "exec.join"
+                )
                 span.tag(rows_out=len(joined))
             return joined
         raise ExecutionError(f"unknown plan node {plan!r}")

@@ -28,6 +28,7 @@ from repro.query.conjunctive import ConjunctiveQuery, Constant
 from repro.query.translate import TranslationResult
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+from repro.resilience.context import current_context
 
 Row = Tuple[object, ...]
 
@@ -61,11 +62,13 @@ def atom_relations_sql(
     rows of a relation whose attributes are CQ variables — they are meant
     to be applied on the final join result (the naive baseline).
     """
+    context = current_context()
     relations: Dict[str, Relation] = {}
     residual: List[Callable[[Row], bool]] = []
     residual_specs: List[Tuple[str, ast.Comparison]] = []
 
     for atom in query.atoms:
+        context.checkpoint("exec.scan")
         alias = atom.name
         base = database.table(atom.relation)
         meter.charge(len(base), "scan")
@@ -172,8 +175,10 @@ def atom_relations_positional(
     meter: WorkMeter = NULL_METER,
 ) -> Dict[str, Relation]:
     """Positional-mode base scans for direct conjunctive queries."""
+    context = current_context()
     relations: Dict[str, Relation] = {}
     for atom in query.atoms:
+        context.checkpoint("exec.scan")
         base = database.table(atom.relation)
         if len(atom.terms) != len(base.attributes):
             raise QueryError(

@@ -47,14 +47,122 @@ class WorkBudgetExceeded(ExecutionError):
 
     The benchmark harness catches this to record a did-not-finish data point
     (the paper reports such runs as "> 10 minutes").
+
+    Attributes:
+        budget: the work-unit limit that was crossed.
+        spent: units charged when the limit was crossed — because the meter
+            checks on *every* charge, this is at most one charge beyond the
+            budget, even mid-join (the blow-up is aborted before it
+            materializes, not at the next operator boundary).
+        phase: the meter category of the charge that crossed the line
+            (``"join-out"``, ``"plan"``, …), locating the failure inside an
+            operator rather than between operators.
     """
 
-    def __init__(self, budget: int, spent: int):
+    def __init__(self, budget: int, spent: int, phase: str = ""):
+        detail = f" during {phase!r}" if phase else ""
         super().__init__(
-            f"work budget exceeded: spent {spent} work units of {budget} allowed"
+            f"work budget exceeded{detail}: spent {spent} work units "
+            f"of {budget} allowed"
         )
         self.budget = budget
         self.spent = spent
+        self.phase = phase
+
+
+class DeadlineExceeded(ExecutionError):
+    """A query ran past its deadline and was aborted at a checkpoint.
+
+    Attributes:
+        deadline_seconds: the allotted wall-clock budget.
+        elapsed_seconds: time elapsed when the overrun was detected.
+        site: the checkpoint that detected it (``"decompose.search"``,
+            ``"exec.join"``, …).
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: float,
+        elapsed_seconds: float,
+        site: str = "",
+    ):
+        where = f" at {site}" if site else ""
+        super().__init__(
+            f"deadline exceeded{where}: {elapsed_seconds:.3f}s elapsed "
+            f"of {deadline_seconds:.3f}s allowed"
+        )
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.site = site
+
+
+class QueryCancelled(ExecutionError):
+    """A query observed its cancellation token and stopped cooperatively.
+
+    Attributes:
+        reason: the reason given to :meth:`CancellationToken.cancel`.
+        site: the checkpoint that observed the cancellation.
+    """
+
+    def __init__(self, reason: str = "", site: str = ""):
+        where = f" at {site}" if site else ""
+        why = f": {reason}" if reason else ""
+        super().__init__(f"query cancelled{where}{why}")
+        self.reason = reason
+        self.site = site
+
+
+class MemoryBudgetExceeded(ExecutionError):
+    """An intermediate result exceeded the per-query memory budget.
+
+    Estimated via row-width accounting (rows × attributes = cells) on every
+    materialized intermediate, so a blow-up aborts deterministically instead
+    of OOM-ing the worker.
+
+    Attributes:
+        site: the operator that materialized the oversized intermediate.
+        rows: rows of the offending intermediate.
+        row_width: attributes per row.
+        cells: estimated cells (rows × row_width) held by the query when
+            the guard fired.
+        budget_cells: the cell budget (None when only the row guard fired).
+        max_rows: the max-intermediate-rows guard (None when only the cell
+            budget fired).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        rows: int,
+        row_width: int,
+        cells: int,
+        budget_cells: "int | None" = None,
+        max_rows: "int | None" = None,
+    ):
+        if max_rows is not None and budget_cells is None:
+            detail = f"{rows} intermediate rows > {max_rows} allowed"
+        else:
+            detail = f"{cells} estimated cells > {budget_cells} allowed"
+        where = f" at {site}" if site else ""
+        super().__init__(f"memory budget exceeded{where}: {detail}")
+        self.site = site
+        self.rows = rows
+        self.row_width = row_width
+        self.cells = cells
+        self.budget_cells = budget_cells
+        self.max_rows = max_rows
+
+
+class InjectedFault(ExecutionError):
+    """A deterministic fault raised by the chaos-testing fault injector.
+
+    Attributes:
+        site: the named injection site that fired.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site}")
+        self.site = site
 
 
 class DecompositionError(ReproError):

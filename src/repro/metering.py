@@ -46,7 +46,13 @@ class WorkMeter:
         self._started = time.perf_counter()
 
     def charge(self, units: int, category: str = "other") -> None:
-        """Charge ``units`` work units; raises on budget exhaustion."""
+        """Charge ``units`` work units; raises on budget exhaustion.
+
+        The budget is checked on *every* charge — operators charge per
+        tuple (or per lump, before materializing), so exhaustion raises
+        mid-operator with ``phase`` naming the charging category, not at
+        the next operator boundary.
+        """
         if units < 0:
             raise ValueError("cannot charge negative work")
         with self._lock:
@@ -57,7 +63,7 @@ class WorkMeter:
                 self.by_category[category] = units
             total = self.total
         if self.budget is not None and total > self.budget:
-            raise WorkBudgetExceeded(self.budget, total)
+            raise WorkBudgetExceeded(self.budget, total, phase=category)
 
     @property
     def elapsed_seconds(self) -> float:

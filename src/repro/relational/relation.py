@@ -29,6 +29,12 @@ from typing import (
 
 from repro.errors import SchemaError
 from repro.metering import NULL_METER, WorkMeter
+from repro.resilience.context import current_context
+
+#: Join kernels poll the resilience context (deadline/cancel/faults) every
+#: this many rows — frequent enough that a cartesian blow-up aborts within
+#: milliseconds, rare enough to stay off the per-tuple hot path.
+_CHECK_EVERY = 4096
 
 _COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
     "=": operator.eq,
@@ -243,8 +249,11 @@ class Relation:
             i for i, a in enumerate(build.attributes) if a not in probe._index
         ]
 
+        context = current_context()
         table: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
-        for row in build.tuples:
+        for n, row in enumerate(build.tuples):
+            if n % _CHECK_EVERY == 0:
+                context.checkpoint("exec.join")
             meter.charge(1, "join-build")
             key = tuple(row[i] for i in build_idx)
             table.setdefault(key, []).append(row)
@@ -257,6 +266,8 @@ class Relation:
             if not matches:
                 continue
             for match in matches:
+                if len(out) % _CHECK_EVERY == 0:
+                    context.checkpoint("exec.join")
                 meter.charge(1, "join-out")
                 out.append(row + tuple(match[i] for i in build_rest_idx))
         name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
@@ -276,9 +287,14 @@ class Relation:
         other_rest_idx = [
             i for i, a in enumerate(other.attributes) if a not in self._index
         ]
+        context = current_context()
+        pairs = 0
         out: List[Tuple[object, ...]] = []
         for row in self.tuples:
             for other_row in other.tuples:
+                if pairs % _CHECK_EVERY == 0:
+                    context.checkpoint("exec.join")
+                pairs += 1
                 meter.charge(1, "nlj-pair")
                 if all(
                     row[i] == other_row[j]
@@ -317,9 +333,14 @@ class Relation:
             i for i, a in enumerate(other.attributes) if a not in self._index
         ]
 
+        context = current_context()
+        steps = 0
         out: List[Tuple[object, ...]] = []
         i = j = 0
         while i < len(left_rows) and j < len(right_rows):
+            if steps % _CHECK_EVERY == 0:
+                context.checkpoint("exec.join")
+            steps += 1
             left_key = tuple(left_rows[i][k] for k in self_idx)
             right_key = tuple(right_rows[j][k] for k in other_idx)
             meter.charge(1, "merge-advance")
@@ -363,6 +384,7 @@ class Relation:
             if len(other) == 0:
                 return Relation(self.attributes, [], name=self.name)
             return self.copy()
+        current_context().checkpoint("exec.join")
         other_idx = [other.index_of(a) for a in shared]
         meter.charge(len(other.tuples), "semijoin-build")
         keys = {tuple(row[i] for i in other_idx) for row in other.tuples}

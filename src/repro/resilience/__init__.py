@@ -1,0 +1,39 @@
+"""repro.resilience — deadlines, cancellation, resource guards, chaos.
+
+The serving stack's third leg (after :mod:`repro.service` and
+:mod:`repro.obs`): cooperative per-query abort primitives threaded through
+the cost-k-decomp search, view generation, and every physical operator's
+row loop, so one pathological query can never wedge a worker or OOM the
+process — plus deterministic fault injection and a circuit breaker backing
+the service handler's degradation ladder.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import MemoryBudget
+from repro.resilience.context import (
+    NULL_CONTEXT,
+    CancellationToken,
+    Deadline,
+    ExecutionContext,
+    NullExecutionContext,
+    current_context,
+    resilient,
+    set_context,
+)
+from repro.resilience.faults import FaultInjector, FaultSpec, parse_faultspec
+
+__all__ = [
+    "CancellationToken",
+    "CircuitBreaker",
+    "Deadline",
+    "ExecutionContext",
+    "FaultInjector",
+    "FaultSpec",
+    "MemoryBudget",
+    "NULL_CONTEXT",
+    "NullExecutionContext",
+    "current_context",
+    "parse_faultspec",
+    "resilient",
+    "set_context",
+]

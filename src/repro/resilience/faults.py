@@ -1,0 +1,141 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultInjector` fires latency, typed exceptions, or simulated
+budget exhaustion at the *named sites* the resilience checkpoints already
+visit (``decompose.search``, ``exec.join``, ``plancache.get``, …).  Firing
+is deterministic: each site keeps a call counter and a spec with rate *r*
+fires every ``round(1/r)``-th call at a seed-derived phase offset — so a
+chaos run with a fixed seed injects the same faults at the same per-site
+call indices regardless of thread interleaving, and a failure reproduces.
+
+Fault specs are written compactly for the CLI (``--inject``)::
+
+    decompose.search:error:0.5,exec.join:latency:0.1:5,exec.scan:budget:0.05
+
+i.e. comma-separated ``site:kind:rate[:param]`` where kind is ``latency``
+(param = milliseconds to sleep), ``error`` (raise
+:class:`~repro.errors.InjectedFault`), or ``budget`` (raise
+:class:`~repro.errors.WorkBudgetExceeded` as if the meter tripped).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import InjectedFault, WorkBudgetExceeded
+
+KINDS = ("latency", "error", "budget")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, what, how often.
+
+    Attributes:
+        site: checkpoint site name the rule arms.
+        kind: ``latency`` | ``error`` | ``budget``.
+        rate: fraction of calls at the site that fire (0 < rate ≤ 1);
+            realized deterministically as every ``round(1/rate)``-th call.
+        param: kind parameter — for ``latency``, milliseconds to sleep.
+    """
+
+    site: str
+    kind: str
+    rate: float
+    param: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {KINDS}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in (0, 1], got {self.rate}")
+
+    @property
+    def period(self) -> int:
+        return max(1, round(1.0 / self.rate))
+
+
+def parse_faultspec(text: str) -> List[FaultSpec]:
+    """Parse a CLI fault specification (see module docstring)."""
+    specs: List[FaultSpec] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"bad fault clause {clause!r}: expected site:kind:rate[:param]"
+            )
+        site, kind, rate = parts[0], parts[1], float(parts[2])
+        param = float(parts[3]) if len(parts) == 4 else 0.0
+        specs.append(FaultSpec(site=site, kind=kind, rate=rate, param=param))
+    return specs
+
+
+class FaultInjector:
+    """Fires configured faults at named sites, deterministically.
+
+    Args:
+        specs: the rules, or a CLI spec string to parse.
+        seed: phase seed — shifts *which* call indices fire without
+            changing the rate, so two chaos runs can disagree on timing
+            while each stays reproducible.
+    """
+
+    def __init__(self, specs: "Iterable[FaultSpec] | str", seed: int = 0):
+        if isinstance(specs, str):
+            specs = parse_faultspec(specs)
+        self.seed = seed
+        self._by_site: Dict[str, List[FaultSpec]] = {}
+        for spec in specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+        self._counts: Dict[str, int] = {}
+        self._fired: Dict[Tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+
+    def _offset(self, spec: FaultSpec) -> int:
+        return (self.seed + zlib.crc32(spec.site.encode())) % spec.period
+
+    def fire(self, site: str) -> None:
+        """One call at ``site``: sleep or raise when a rule's index matches."""
+        specs = self._by_site.get(site)
+        if not specs:
+            return
+        with self._lock:
+            count = self._counts.get(site, 0)
+            self._counts[site] = count + 1
+            due = [
+                spec
+                for spec in specs
+                if count % spec.period == self._offset(spec)
+            ]
+            for spec in due:
+                key = (site, spec.kind)
+                self._fired[key] = self._fired.get(key, 0) + 1
+        for spec in due:
+            if spec.kind == "latency":
+                time.sleep(spec.param / 1000.0)
+            elif spec.kind == "error":
+                raise InjectedFault(site)
+            elif spec.kind == "budget":
+                raise WorkBudgetExceeded(budget=0, spent=0, phase=site)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Per-site call and fire counters (chaos-suite assertions)."""
+        with self._lock:
+            return {
+                "calls": dict(self._counts),
+                "fired": {
+                    f"{site}:{kind}": count
+                    for (site, kind), count in sorted(self._fired.items())
+                },
+            }
+
+    def __repr__(self) -> str:
+        sites = ", ".join(sorted(self._by_site))
+        return f"FaultInjector({sites or 'no sites'}, seed={self.seed})"

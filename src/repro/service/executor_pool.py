@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -114,16 +115,58 @@ class ExecutorPool:
 
     # ------------------------------------------------------------------
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; optionally join the workers."""
+    def shutdown(
+        self,
+        wait: bool = True,
+        grace_seconds: Optional[float] = None,
+        cancel_pending: bool = False,
+    ) -> bool:
+        """Stop accepting work; optionally join the workers.
+
+        Args:
+            wait: join the worker threads.
+            grace_seconds: bound on the *total* join wait; workers still
+                running when it elapses are abandoned (they are daemon
+                threads) and the method returns False.
+            cancel_pending: cancel queued-but-not-started futures first, so
+                a drain does not wait for the backlog — only for the
+                queries already running.
+
+        Returns:
+            True when every worker exited within the grace period.
+        """
         if self._shutdown:
-            return
+            return True
         self._shutdown = True
+        if cancel_pending:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL:
+                    future = item[0]  # type: ignore[index]
+                    future.cancel()
+                self._queue.task_done()
         for _ in self._threads:
             self._queue.put(_SENTINEL)
+        drained = True
         if wait:
+            expires = (
+                None
+                if grace_seconds is None
+                else time.monotonic() + grace_seconds
+            )
             for thread in self._threads:
-                thread.join()
+                timeout = (
+                    None
+                    if expires is None
+                    else max(0.0, expires - time.monotonic())
+                )
+                thread.join(timeout)
+                if thread.is_alive():
+                    drained = False
+        return drained
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:

@@ -131,6 +131,25 @@ class ServiceMetrics:
         self._planning_seconds = reg.counter(
             "service_planning_seconds_total", help="Wall-clock planning time"
         )
+        self._degraded_lower_k = reg.counter(
+            "service_degraded_lower_k_total",
+            help="Queries served from a cached lower-width plan",
+        )
+        self._breaker_skips = reg.counter(
+            "service_breaker_skips_total",
+            help="Planning attempts skipped by an open circuit breaker",
+        )
+        self._deadline_misses = reg.counter(
+            "service_deadline_misses_total",
+            help="Queries aborted by an expired deadline",
+        )
+        self._cancellations = reg.counter(
+            "service_cancellations_total", help="Queries aborted by cancellation"
+        )
+        self._memory_aborts = reg.counter(
+            "service_memory_aborts_total",
+            help="Queries aborted by the memory budget",
+        )
 
     # -- legacy attribute surface (kept for callers and tests) -----------
 
@@ -177,6 +196,26 @@ class ServiceMetrics:
     @property
     def planning_seconds(self) -> float:
         return float(self._planning_seconds.value)
+
+    @property
+    def degraded_lower_k(self) -> int:
+        return self._degraded_lower_k.value
+
+    @property
+    def breaker_skips(self) -> int:
+        return self._breaker_skips.value
+
+    @property
+    def deadline_misses(self) -> int:
+        return self._deadline_misses.value
+
+    @property
+    def cancellations(self) -> int:
+        return self._cancellations.value
+
+    @property
+    def memory_aborts(self) -> int:
+        return self._memory_aborts.value
 
     # ------------------------------------------------------------------
 
@@ -228,6 +267,36 @@ class ServiceMetrics:
             self._planning_units.inc(units)
             self._planning_seconds.inc(seconds)
 
+    def record_degradation(self, step: str) -> None:
+        """One degradation-ladder step taken.
+
+        ``"lower-k"`` counts a query served from a cached plan at a smaller
+        width bound; any other step name counts a builtin fallback (the
+        ladder's last resort, shared with :meth:`record_plan`'s
+        ``fallback``).
+        """
+        with self._lock:
+            if step == "lower-k":
+                self._degraded_lower_k.inc()
+            else:
+                self._plan_fallbacks.inc()
+
+    def record_breaker_skip(self) -> None:
+        with self._lock:
+            self._breaker_skips.inc()
+
+    def record_deadline_miss(self) -> None:
+        with self._lock:
+            self._deadline_misses.inc()
+
+    def record_cancellation(self) -> None:
+        with self._lock:
+            self._cancellations.inc()
+
+    def record_memory_abort(self) -> None:
+        with self._lock:
+            self._memory_aborts.inc()
+
     # ------------------------------------------------------------------
 
     def snapshot(
@@ -252,6 +321,13 @@ class ServiceMetrics:
                     "fallbacks": self._plan_fallbacks.snapshot(),
                     "work_units": self._planning_units.snapshot(),
                     "seconds": round(float(self._planning_seconds.value), 6),
+                },
+                "resilience": {
+                    "deadline_misses": self._deadline_misses.snapshot(),
+                    "cancellations": self._cancellations.snapshot(),
+                    "memory_aborts": self._memory_aborts.snapshot(),
+                    "degraded_lower_k": self._degraded_lower_k.snapshot(),
+                    "breaker_skips": self._breaker_skips.snapshot(),
                 },
             }
         if cache is not None:

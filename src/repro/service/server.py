@@ -30,8 +30,22 @@ from concurrent.futures import Future
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.engine.dbms import DBMSResult, SimulatedDBMS
+from repro.errors import (
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+)
 from repro.query import ast
 from repro.core.integration import install_structural_optimizer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import MemoryBudget
+from repro.resilience.context import (
+    CancellationToken,
+    Deadline,
+    ExecutionContext,
+    resilient,
+)
+from repro.resilience.faults import FaultInjector
 from repro.service.executor_pool import ExecutorPool
 from repro.service.metrics import ServiceMetrics
 from repro.service.plancache import PlanCache
@@ -53,6 +67,21 @@ class QueryService:
         fallback_to_builtin: degrade to the built-in planner when no
             width-≤k decomposition exists.
         optimize: run Procedure Optimize on fresh decompositions.
+        deadline_seconds: default per-query wall-clock deadline; expiry
+            aborts the query at its next cooperative checkpoint with
+            :class:`~repro.errors.DeadlineExceeded`.
+        memory_budget_cells: per-query cap on live materialized cells
+            (rows × width); exceeding it raises
+            :class:`~repro.errors.MemoryBudgetExceeded` deterministically
+            instead of OOM-ing the process.
+        max_intermediate_rows: per-query cap on any single materialized
+            intermediate's row count.
+        fault_injector: a deterministic
+            :class:`~repro.resilience.faults.FaultInjector` threaded into
+            every query's execution context (chaos testing).
+        breaker: the per-template :class:`CircuitBreaker` backing the
+            degradation ladder; pass one explicitly to share or configure
+            it, or leave the default (3 failures, 30 s cooldown).
     """
 
     def __init__(
@@ -67,9 +96,21 @@ class QueryService:
         work_budget: Optional[int] = None,
         fallback_to_builtin: bool = True,
         optimize: bool = True,
+        deadline_seconds: Optional[float] = None,
+        memory_budget_cells: Optional[int] = None,
+        max_intermediate_rows: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.dbms = dbms
         self.work_budget = work_budget
+        self.deadline_seconds = deadline_seconds
+        self.memory_budget_cells = memory_budget_cells
+        self.max_intermediate_rows = max_intermediate_rows
+        self.fault_injector = fault_injector
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: Parent token of every in-flight query; :meth:`drain` cancels it.
+        self.drain_token = CancellationToken()
         self.metrics = ServiceMetrics()
         self.plan_cache = PlanCache(
             capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
@@ -81,6 +122,7 @@ class QueryService:
             optimize=optimize,
             plan_cache=self.plan_cache,
             metrics=self.metrics,
+            breaker=self.breaker,
         )
         self.pool = ExecutorPool(
             workers=workers, queue_capacity=queue_capacity, name="hdqo-serve"
@@ -95,18 +137,22 @@ class QueryService:
         self,
         sql: Union[str, ast.SelectQuery],
         work_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> DBMSResult:
         """Run one query synchronously in the calling thread.
 
         The same planning/caching/metrics path as pooled execution — used
         for warm-up and serial baselines.
         """
-        return self._run(sql, work_budget)
+        return self._run(sql, work_budget, deadline_seconds, token)
 
     def submit(
         self,
         sql: Union[str, ast.SelectQuery],
         work_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> "Future[DBMSResult]":
         """Admit one query to the pool; rejects when saturated.
 
@@ -118,7 +164,9 @@ class QueryService:
         from repro.errors import ServiceOverloaded
 
         try:
-            return self.pool.submit(self._run, sql, work_budget)
+            return self.pool.submit(
+                self._run, sql, work_budget, deadline_seconds, token
+            )
         except ServiceOverloaded:
             self.metrics.record_rejection()
             raise
@@ -128,6 +176,7 @@ class QueryService:
         queries: Sequence[Union[str, ast.SelectQuery]],
         work_budget: Optional[int] = None,
         return_exceptions: bool = False,
+        deadline_seconds: Optional[float] = None,
     ) -> "List[Union[DBMSResult, Exception]]":
         """Run a batch through the pool, blocking for queue room (never
         rejecting), and return results in submission order.
@@ -137,7 +186,9 @@ class QueryService:
         aborting the whole batch — the CLI's behaviour.
         """
         futures = [
-            self.pool.submit_blocking(self._run, sql, work_budget)
+            self.pool.submit_blocking(
+                self._run, sql, work_budget, deadline_seconds
+            )
             for sql in queries
         ]
         results: List[Union[DBMSResult, Exception]] = []
@@ -163,15 +214,75 @@ class QueryService:
 
     # ------------------------------------------------------------------
 
+    def _make_context(
+        self,
+        deadline_seconds: Optional[float],
+        token: Optional[CancellationToken],
+    ) -> Optional[ExecutionContext]:
+        """The per-query resilience context, or None when nothing is bounded."""
+        seconds = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        deadline = Deadline.after(seconds) if seconds is not None else None
+        memory = None
+        if (
+            self.memory_budget_cells is not None
+            or self.max_intermediate_rows is not None
+        ):
+            memory = MemoryBudget(
+                max_cells=self.memory_budget_cells,
+                max_intermediate_rows=self.max_intermediate_rows,
+            )
+        query_token = CancellationToken(
+            parents=(self.drain_token,) + ((token,) if token is not None else ())
+        )
+        if (
+            deadline is None
+            and token is None
+            and memory is None
+            and self.fault_injector is None
+            and not self.drain_token.cancelled
+        ):
+            # Nothing to enforce: skip the context entirely so the hot
+            # path's checkpoints stay no-ops (the ≤2 % overhead guarantee).
+            return None
+        return ExecutionContext(
+            deadline=deadline,
+            token=query_token,
+            memory=memory,
+            faults=self.fault_injector,
+        )
+
     def _run(
         self,
         sql: Union[str, ast.SelectQuery],
         work_budget: Optional[int],
+        deadline_seconds: Optional[float] = None,
+        token: Optional[CancellationToken] = None,
     ) -> DBMSResult:
         budget = work_budget if work_budget is not None else self.work_budget
+        context = self._make_context(deadline_seconds, token)
         started = time.perf_counter()
         try:
-            result = self.dbms.run_sql(sql, work_budget=budget)
+            if context is None:
+                result = self.dbms.run_sql(sql, work_budget=budget)
+            else:
+                with resilient(context):
+                    result = self.dbms.run_sql(sql, work_budget=budget)
+        except DeadlineExceeded:
+            self.metrics.record_error()
+            self.metrics.record_deadline_miss()
+            raise
+        except QueryCancelled:
+            self.metrics.record_error()
+            self.metrics.record_cancellation()
+            raise
+        except MemoryBudgetExceeded:
+            self.metrics.record_error()
+            self.metrics.record_memory_abort()
+            raise
         except Exception:
             self.metrics.record_error()
             raise
@@ -191,6 +302,26 @@ class QueryService:
         data = self.metrics.snapshot(cache=self.plan_cache.snapshot())
         data["pool"] = self.pool.snapshot()
         return data
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting, cancel, bounded wait.
+
+        Cancels every queued-but-not-started query, flips the drain token
+        (in-flight queries with an active context abort at their next
+        checkpoint with :class:`~repro.errors.QueryCancelled`), and joins
+        the workers for at most ``grace_seconds``.
+
+        Returns:
+            True when every worker exited within the grace period.
+        """
+        self._closed = True
+        self.drain_token.cancel("service draining")
+        drained = self.pool.shutdown(
+            wait=True, grace_seconds=grace_seconds, cancel_pending=True
+        )
+        if self.dbms.optimizer_handler is self._handler:
+            self.dbms.set_optimizer_handler(None)
+        return drained
 
     def close(self) -> None:
         """Drain the pool and restore the engine's built-in planner."""

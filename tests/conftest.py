@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import faulthandler
 import itertools
+import os
 import random
 import sys
 from pathlib import Path
@@ -17,6 +19,30 @@ if str(SRC) not in sys.path:
 
 from repro.query.conjunctive import Atom, ConjunctiveQuery, Constant
 from repro.relational import AttributeType, Database, Relation, RelationSchema
+
+
+# ---------------------------------------------------------------------------
+# Per-test deadline (opt-in, dependency-free)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline():
+    """Abort a hung test with a traceback after ``HDQO_TEST_DEADLINE`` s.
+
+    CI sets the variable (the chaos job must never wedge a runner); local
+    runs leave it unset and pay nothing.  ``faulthandler`` dumps every
+    thread's stack and exits, so a deadlock diagnoses itself.
+    """
+    seconds = float(os.environ.get("HDQO_TEST_DEADLINE", "0") or 0)
+    if seconds <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 # ---------------------------------------------------------------------------

@@ -131,6 +131,21 @@ class TestCommands:
         assert "error: expected 'select'" in out
         assert "q-hd" in out  # the good query still ran
 
+    def test_serve_deadline_and_inject_flags(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("q5\nq5\n"))
+        # Rate-1.0 search faults force the ladder onto the builtin planner;
+        # the generous deadline never fires.
+        assert main(
+            ["serve", "--size-mb", "20", "--workers", "2",
+             "--deadline-ms", "60000",
+             "--inject", "decompose.search:error:1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "builtin-fallback" in out
+        assert "deadline_misses: 0" in out
+
     def test_bench_serve(self, capsys):
         assert main(
             ["bench-serve", "--workers", "4", "--repetitions", "3"]
@@ -138,3 +153,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cold" in out and "warm" in out
         assert "amortization" in out
+
+    def test_bench_serve_resilience_flags(self, capsys):
+        assert main(
+            ["bench-serve", "--workers", "2", "--repetitions", "2",
+             "--deadline-ms", "60000", "--inject", "exec.join:error:0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deadline miss:" in out
+        assert "errors:" in out
+        assert "fallbacks:" in out
+
+    def test_serve_sigint_drains_and_flushes(self):
+        """SIGINT mid-batch: graceful drain, exit 130, metrics still flushed."""
+        import os
+        import signal as signal_module
+        import subprocess
+        import sys as sys_module
+        import time
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(
+            os.environ, PYTHONPATH=str(root / "src"), PYTHONUNBUFFERED="1"
+        )
+        proc = subprocess.Popen(
+            [sys_module.executable, "-m", "repro.cli", "serve",
+             "--size-mb", "20", "--workers", "2", "--grace", "20",
+             # latency at every join keeps queries in flight while we signal
+             "--inject", "exec.join:latency:1.0:50"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=root,
+        )
+        try:
+            proc.stdin.write("q5\n" * 40)
+            proc.stdin.close()
+            # The header prints once the service is up and the signal
+            # handlers are installed; block until then.
+            header = proc.stdout.readline()
+            assert "optimizer" in header
+            time.sleep(0.5)  # well inside run_all now
+            proc.send_signal(signal_module.SIGINT)
+            returncode = proc.wait(timeout=120)
+            out = header + proc.stdout.read()
+            err = proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()
+        assert returncode == 130, err
+        assert "draining" in err
+        # Observability still flushed on the signal path.
+        assert "queries:" in out
+        assert "pool:" in out
