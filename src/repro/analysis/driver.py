@@ -1,0 +1,153 @@
+"""The analysis driver: walk files, run rules, aggregate findings.
+
+Files are analysed independently (one parsed AST per file, every scoped
+rule applied to it), which makes the pass embarrassingly parallel; the
+driver fans file analysis out over a thread pool.  CPython's ``ast``
+module releases the GIL while parsing, and rule checking is cheap, so
+threads are enough — no process pool, no pickling.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import ERROR, FileSource, Finding, Rule
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache"})
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity != ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    collected.append(os.path.join(dirpath, name))
+    return sorted(set(collected))
+
+
+def analyze_file(
+    path: str, rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """Analyse one file; returns (findings, suppressed-count).
+
+    A file that fails to parse produces a single ``syntax-error`` finding
+    rather than aborting the whole run.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        source = FileSource.parse(path, text)
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return (
+            [
+                Finding(
+                    rule_id="syntax-error",
+                    severity=ERROR,
+                    path=path,
+                    line=int(line),
+                    column=0,
+                    message=f"file could not be analysed: {exc}",
+                )
+            ],
+            0,
+        )
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(source.posix_path):
+            continue
+        for finding in rule.check(source):
+            if source.suppressed(finding.rule_id, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Rule]:
+    """The rule battery to run, optionally filtered by rule id."""
+    from repro.analysis.rules import ALL_RULES
+
+    battery: Sequence[Rule] = rules if rules is not None else ALL_RULES
+    if select is None:
+        return list(battery)
+    wanted = {name.strip() for name in select if name.strip()}
+    unknown = wanted - {rule.rule_id for rule in battery}
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(r.rule_id for r in battery))}"
+        )
+    return [rule for rule in battery if rule.rule_id in wanted]
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> AnalysisReport:
+    """Run the battery over ``paths`` with parallel file walking."""
+    battery = resolve_rules(select=select, rules=rules)
+    files = iter_python_files(paths)
+    report = AnalysisReport(files=len(files))
+    if not files:
+        return report
+    workers = jobs if jobs and jobs > 0 else min(8, (os.cpu_count() or 2))
+    workers = max(1, min(workers, len(files)))
+    if workers == 1:
+        results = [analyze_file(path, battery) for path in files]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(lambda path: analyze_file(path, battery), files)
+            )
+    for findings, suppressed in results:
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_file",
+    "iter_python_files",
+    "resolve_rules",
+    "run_analysis",
+]

@@ -1,0 +1,203 @@
+"""Dynamic lock-order witness: the runtime complement to ``lock-discipline``.
+
+Static analysis can prove that guarded attributes are written under *a*
+lock, but not that multiple locks are always taken in a consistent
+*order* — the property that rules out deadlock.  This module provides an
+opt-in instrumented lock: when ``HDQO_LOCKCHECK=1`` is set,
+:func:`make_lock` returns a :class:`WitnessLock` that reports every
+acquisition to a process-wide :class:`LockWitness`.  The witness keeps a
+per-thread stack of held locks and a global *acquired-after* graph over
+lock **names**: an edge ``A -> B`` means some thread acquired ``B`` while
+holding ``A``.  A cycle in that graph is the classic deadlock recipe (two
+threads taking the same pair in opposite orders), witnessed from a single
+run even if the interleaving never actually deadlocked.
+
+Violations are recorded rather than raised mid-acquire (raising inside a
+lock acquisition would corrupt the very state being protected);
+:meth:`LockWitness.assert_clean` — called by the test-suite teardown when
+lock checking is on — raises :class:`~repro.errors.LockOrderViolation`
+with the witnessed cycle.
+
+When ``HDQO_LOCKCHECK`` is unset, :func:`make_lock` returns a plain
+``threading.Lock`` — zero overhead on the production path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import LockOrderViolation
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def lockcheck_enabled() -> bool:
+    """Is the dynamic lock-order witness switched on (``HDQO_LOCKCHECK=1``)?"""
+    return os.environ.get("HDQO_LOCKCHECK", "").strip().lower() in _TRUTHY
+
+
+class LockWitness:
+    """Process-wide recorder of lock-acquisition order.
+
+    Thread-safe; the witness's own bookkeeping lock is a leaf (never held
+    while acquiring an instrumented lock), so the witness cannot itself
+    introduce the deadlocks it hunts.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        # acquired-after edges over lock names: held -> then-acquired.
+        self._edges: Dict[str, Set[str]] = {}
+        self._violations: List[LockOrderViolation] = []
+        self._seen_cycles: Set[Tuple[str, ...]] = set()
+
+    # -- per-thread held stack -----------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- acquisition hooks ---------------------------------------------
+
+    def before_acquire(self, name: str) -> None:
+        """Record edges held->name and check for an ordering cycle."""
+        held = [h for h in self._stack() if h != name]
+        if not held:
+            return
+        with self._mutex:
+            for holder in held:
+                self._edges.setdefault(holder, set()).add(name)
+            cycle = self._find_cycle_locked(name, set(held))
+            if cycle is not None and cycle not in self._seen_cycles:
+                self._seen_cycles.add(cycle)
+                self._violations.append(LockOrderViolation(cycle))
+
+    def after_acquire(self, name: str) -> None:
+        self._stack().append(name)
+
+    def after_release(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- cycle detection ------------------------------------------------
+
+    def _find_cycle_locked(
+        self, start: str, targets: Set[str]
+    ) -> Optional[Tuple[str, ...]]:
+        """A cycle through ``start`` and a currently-held lock, if any.
+
+        The caller just recorded ``t -> start`` for every held ``t``; if
+        the graph also contains a path ``start -> … -> t``, the pair is
+        acquired in both orders and ``(start, …, t, start)`` is returned.
+        """
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(start, (start,))]
+        visited: Set[str] = {start}
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(self._edges.get(node, ())):
+                if succ in targets:
+                    return path + (succ, start)
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, path + (succ,)))
+        return None
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def violations(self) -> List[LockOrderViolation]:
+        with self._mutex:
+            return list(self._violations)
+
+    def edges(self) -> Dict[str, Set[str]]:
+        """Snapshot of the acquired-after graph (name -> successors)."""
+        with self._mutex:
+            return {name: set(succs) for name, succs in self._edges.items()}
+
+    def assert_clean(self) -> None:
+        """Raise the first witnessed :class:`LockOrderViolation`, if any."""
+        with self._mutex:
+            if self._violations:
+                raise self._violations[0]
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+            self._seen_cycles.clear()
+
+
+class WitnessLock:
+    """A named ``threading.Lock`` wrapper that reports to a witness.
+
+    Locks that are *instances of the same role* (e.g. the per-key
+    single-flight build locks of the plan cache) should share one name:
+    the witness graph is over roles, which keeps it small and makes the
+    witnessed order meaningful across instances.
+    """
+
+    def __init__(
+        self, name: str, witness: Optional[LockWitness] = None
+    ) -> None:
+        self.name = name
+        self._witness = witness if witness is not None else GLOBAL_WITNESS
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._witness.before_acquire(self.name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._witness.after_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._witness.after_release(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<WitnessLock {self.name!r} {state}>"
+
+
+#: The process-wide witness all :func:`make_lock` locks report to.
+GLOBAL_WITNESS = LockWitness()
+
+
+def make_lock(name: str) -> Any:
+    """A lock for ``name`` — instrumented under ``HDQO_LOCKCHECK=1``.
+
+    This is the factory the serving/observability/resilience layers use
+    for every shared-state lock.  With lock checking off (the default) it
+    returns a plain ``threading.Lock``; the instrumentation is purely
+    opt-in and costs nothing in production.
+    """
+    if lockcheck_enabled():
+        return WitnessLock(name, GLOBAL_WITNESS)
+    return threading.Lock()
+
+
+__all__ = [
+    "GLOBAL_WITNESS",
+    "LockWitness",
+    "WitnessLock",
+    "lockcheck_enabled",
+    "make_lock",
+]

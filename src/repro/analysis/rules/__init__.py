@@ -1,0 +1,46 @@
+"""The domain rule battery.
+
+Each rule guards one of the stack's unwritten invariants; see the module
+docstrings for the precise semantics and the rationale.  The catalogue:
+
+========================  ========  ===================================
+rule id                   severity  guards
+========================  ========  ===================================
+``checkpoint-coverage``   error     work-charging row loops checkpoint
+``work-charging``         error     operators use the meter they accept
+``lock-discipline``       error     guarded attributes stay guarded
+``no-wall-clock``         error     metered paths are deterministic
+``error-swallowing``      error     broad handlers re-raise aborts
+``span-balance``          error     tracer spans are context-managed
+========================  ========  ===================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.base import Rule
+from repro.analysis.rules.checkpoints import CheckpointCoverageRule, WorkChargingRule
+from repro.analysis.rules.determinism import WallClockRule
+from repro.analysis.rules.errors import ErrorSwallowingRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.spans import SpanBalanceRule
+
+ALL_RULES: Tuple[Rule, ...] = (
+    CheckpointCoverageRule(),
+    WorkChargingRule(),
+    LockDisciplineRule(),
+    WallClockRule(),
+    ErrorSwallowingRule(),
+    SpanBalanceRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CheckpointCoverageRule",
+    "WorkChargingRule",
+    "LockDisciplineRule",
+    "WallClockRule",
+    "ErrorSwallowingRule",
+    "SpanBalanceRule",
+]

@@ -27,6 +27,7 @@ from repro.bench.reporting import render_series_table
 from repro.core.integration import install_structural_optimizer
 from repro.core.optimizer import HybridOptimizer
 from repro.engine.dbms import COMMDB_PROFILE, POSTGRES_PROFILE, SimulatedDBMS
+from repro.errors import DecompositionError, OptimizationError
 from repro.workloads.tpch import TPCH_SCHEMA, generate_tpch_database
 from repro.workloads.tpch_queries import TPCH_QUERIES
 
@@ -122,9 +123,42 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     try:
         plan = optimizer.optimize(translation)
         print(f"  q-hypertree width:   {plan.width} (k ≤ {args.width})")
-    except Exception as exc:  # DecompositionNotFound and friends
+    except (DecompositionError, OptimizationError) as exc:
         print(f"  q-hypertree width:   failure at k = {args.width} ({exc})")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the domain static-analysis battery over the repro sources.
+
+    With no paths, lints the installed ``repro`` package itself — the
+    self-clean gate CI enforces.  Exits 1 when any error-severity finding
+    survives suppression (or a ``--select``-ed rule id is unknown).
+    """
+    import os.path
+
+    import repro
+    from repro.analysis import run_analysis, render_json, render_text
+    from repro.analysis.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id} ({rule.severity}): {rule.description}")
+        return 0
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    select = (
+        [name for name in args.select.split(",")] if args.select else None
+    )
+    try:
+        report = run_analysis(paths, select=select, jobs=args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -402,6 +436,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the domain static-analysis rules over the sources",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report rendering",
+    )
+    p.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel file-analysis workers (default: auto)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("experiment", help="reproduce a paper figure")
     p.add_argument("id", choices=sorted(EXPERIMENTS))

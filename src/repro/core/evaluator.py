@@ -360,9 +360,12 @@ def evaluate_hd_classic(
     if not _constant_atoms_satisfiable(query, relations):
         return Relation(output, [])
 
+    context = current_context()
+
     # S₂′: materialize node relations.
     node_rels: Dict[int, Relation] = {}
     for node in decomposition.root.walk():
+        context.checkpoint("exec.classic")
         rel: Optional[Relation] = None
         for atom_rel in sorted((relations[n] for n in node.lam), key=len):
             rel = atom_rel if rel is None else rel.natural_join(atom_rel, meter=meter)
@@ -394,6 +397,7 @@ def evaluate_hd_classic(
     def eval_subtree(node: HypertreeNode) -> Relation:
         rel = node_rels[node.node_id]
         for child in node.children:
+            context.checkpoint("exec.classic")
             rel = rel.natural_join(eval_subtree(child), meter=meter)
             if spill is not None:
                 spill.charge(meter, len(rel))

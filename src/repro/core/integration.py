@@ -31,6 +31,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import (
     DeadlineExceeded,
     DecompositionNotFound,
@@ -113,7 +114,7 @@ def install_structural_optimizer(
     # Cost models are pure functions of (statistics version, query); cache
     # them so a repeated query re-reads the statistics catalog zero times.
     model_cache: dict = {}
-    model_lock = threading.Lock()
+    model_lock = make_lock("integration.model_cache")
 
     def _model_for(
         engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool

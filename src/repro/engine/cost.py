@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, SchemaError
 from repro.query import ast
 from repro.query.translate import TranslationResult
 from repro.relational.database import Database
@@ -92,7 +92,7 @@ class EstimationContext:
                 # no-statistics optimizer favour spurious low-key joins.
                 try:
                     rows = float(max(len(database.table(atom.relation)), 1))
-                except Exception:  # pragma: no cover - missing table
+                except SchemaError:  # pragma: no cover - missing table
                     rows = DEFAULT_ROWS
                 distinct = {v: DEFAULT_DISTINCT for v in atom.variables}
             selectivity = filters_selectivity(

@@ -207,3 +207,24 @@ class ServiceOverloaded(ServiceError):
 
 class ServiceClosed(ServiceError):
     """A query was submitted to a service that has been shut down."""
+
+
+class LockOrderViolation(ReproError):
+    """The dynamic lock-order witness observed a cyclic acquisition order.
+
+    Raised (only under ``HDQO_LOCKCHECK=1``) when two threads acquire the
+    same pair of named locks in opposite orders — the classic deadlock
+    recipe.  Carries the witnessed cycle so the offending lock pair can be
+    identified without reproducing the interleaving.
+
+    Attributes:
+        cycle: lock names forming the ordering cycle, e.g.
+            ``("PlanCache._lock", "ServiceMetrics._lock",
+            "PlanCache._lock")``.
+    """
+
+    def __init__(self, cycle: "tuple[str, ...]"):
+        super().__init__(
+            "lock-order cycle witnessed: " + " -> ".join(cycle)
+        )
+        self.cycle = cycle

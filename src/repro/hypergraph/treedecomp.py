@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.errors import HypergraphError
+from repro.errors import DecompositionError, HypergraphError
 from repro.hypergraph.algorithms import primal_graph
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -208,6 +208,6 @@ def structural_summary(hypergraph: Hypergraph) -> Dict[str, object]:
         summary["treewidth_min_fill"] = treewidth_min_fill(hypergraph)
     try:
         summary["hypertree_width"] = hypertree_width(hypergraph, max_k=6)
-    except Exception:
+    except DecompositionError:
         summary["hypertree_width"] = ">6"
     return summary

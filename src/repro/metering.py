@@ -18,6 +18,7 @@ import threading
 import time
 from typing import Dict, Optional
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import WorkBudgetExceeded
 
 
@@ -42,7 +43,7 @@ class WorkMeter:
         self.budget = budget
         self.total = 0
         self.by_category: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkMeter._lock")
         self._started = time.perf_counter()
 
     def charge(self, units: int, category: str = "other") -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from repro.analysis.lockwitness import make_lock
 
 __all__ = [
     "Counter",
@@ -58,7 +59,7 @@ class _Instrument:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = make_lock("Instrument._lock")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

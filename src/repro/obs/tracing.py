@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
 
+from repro.analysis.lockwitness import make_lock
 from repro.metering import WorkMeter
 
 __all__ = [
@@ -180,7 +181,7 @@ class Tracer:
         self._spans: List[Span] = []
         self._counter = itertools.count(1)
         self._open = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
         self._local = threading.local()
 
     # -- span lifecycle --------------------------------------------------
@@ -344,7 +345,7 @@ NULL_TRACER = NullTracer()
 """Shared disabled tracer — the process-wide default."""
 
 _current: Union[Tracer, NullTracer] = NULL_TRACER
-_current_lock = threading.Lock()
+_current_lock = make_lock("tracing._current")
 
 
 def current_tracer() -> Union[Tracer, NullTracer]:

@@ -16,7 +16,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.metering import NULL_METER, WorkMeter
-from repro.relational.relation import Relation
+from repro.relational.relation import _CHECK_EVERY, Relation
+from repro.resilience.context import current_context
 
 Key = Tuple[object, ...]
 
@@ -88,8 +89,11 @@ def index_nested_loop_join(
         i for i, a in enumerate(build.attributes) if not probe.has_attribute(a)
     ]
 
+    context = current_context()
     out: List[Tuple[object, ...]] = []
-    for row in probe.tuples:
+    for n, row in enumerate(probe.tuples):
+        if n % _CHECK_EVERY == 0:
+            context.checkpoint("exec.inl-join")
         meter.charge(1, "inl-probe")
         key = tuple(row[i] for i in probe_key_idx)
         for match in index.lookup(key, meter):

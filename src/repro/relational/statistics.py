@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 from repro.errors import SchemaError
 from repro.metering import NULL_METER, WorkMeter
 from repro.relational.relation import Relation
+from repro.resilience.context import current_context
 
 
 @dataclass(frozen=True)
@@ -82,8 +83,10 @@ def analyze_relation(
     gathering cost grows linearly with the database, which is the point of
     the paper's overhead comparison (§6.1).
     """
+    context = current_context()
     attr_stats: Dict[str, AttributeStatistics] = {}
     for attribute in relation.attributes:
+        context.checkpoint("analyze")
         idx = relation.index_of(attribute)
         counts: Dict[object, int] = {}
         meter.charge(len(relation.tuples), "analyze")

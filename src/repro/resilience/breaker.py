@@ -24,6 +24,7 @@ import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict
+from repro.analysis.lockwitness import make_lock
 
 CLOSED = "closed"
 OPEN = "open"
@@ -60,7 +61,7 @@ class CircuitBreaker:
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock
         self._keys: Dict[str, _KeyState] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self.skips = 0
         self.trips = 0
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import MemoryBudgetExceeded
 
 
@@ -54,7 +55,7 @@ class MemoryBudget:
         self.live_cells = 0
         self.peak_cells = 0
         self.intermediates = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("MemoryBudget._lock")
 
     def account(self, rows: int, row_width: int, site: str = "") -> None:
         """Charge one materialized intermediate; raises on either guard.

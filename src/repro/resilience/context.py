@@ -36,6 +36,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence, Union
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import DeadlineExceeded, QueryCancelled
 
 if TYPE_CHECKING:
@@ -195,7 +196,7 @@ class ExecutionContext:
         self.faults = faults
         self.stride = stride
         self._tick_counts: Dict[str, int] = {}
-        self._tick_lock = threading.Lock()
+        self._tick_lock = make_lock("ExecutionContext._tick_lock")
 
     # ------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import InjectedFault, WorkBudgetExceeded
 
 KINDS = ("latency", "error", "budget")
@@ -96,7 +97,7 @@ class FaultInjector:
             self._by_site.setdefault(spec.site, []).append(spec)
         self._counts: Dict[str, int] = {}
         self._fired: Dict[Tuple[str, str], int] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("FaultInjector._lock")
 
     def _offset(self, spec: FaultSpec) -> int:
         return (self.seed + zlib.crc32(spec.site.encode())) % spec.period

@@ -17,6 +17,7 @@ import time
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.lockwitness import make_lock
 from repro.errors import ServiceClosed, ServiceOverloaded
 
 _SENTINEL = object()
@@ -42,7 +43,7 @@ class ExecutorPool:
         self.queue_capacity = queue_capacity
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_capacity)
         self._shutdown = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("ExecutorPool._lock")
         self._active = 0
         self.submitted = 0
         self.completed = 0
@@ -105,7 +106,7 @@ class ExecutorPool:
                 self._active += 1
             try:
                 future.set_result(fn(*args, **kwargs))
-            except BaseException as exc:  # delivered through the future
+            except BaseException as exc:  # hdqo: ignore[error-swallowing] — delivered through the future
                 future.set_exception(exc)
             finally:
                 with self._lock:

@@ -23,6 +23,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.analysis.lockwitness import make_lock
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 
@@ -89,7 +90,7 @@ class ServiceMetrics:
         # One outer lock keeps multi-instrument updates (and snapshots)
         # mutually consistent; the instruments' own locks make each safe
         # for direct use too.
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServiceMetrics._lock")
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
         self._queries = reg.counter(

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.analysis.lockwitness import make_lock
 from repro.core.hypertree import Hypertree
 from repro.service.fingerprint import QueryFingerprint
 
@@ -116,7 +117,7 @@ class PlanCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("PlanCache._lock")
         self._build_locks: Dict[str, threading.Lock] = {}
         self.stats = CacheStats()
 
@@ -135,7 +136,7 @@ class PlanCache:
         with self._lock:
             lock = self._build_locks.get(key)
             if lock is None:
-                lock = threading.Lock()
+                lock = make_lock("PlanCache.build")
                 self._build_locks[key] = lock
             return lock
 

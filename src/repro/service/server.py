@@ -34,6 +34,7 @@ from repro.errors import (
     DeadlineExceeded,
     MemoryBudgetExceeded,
     QueryCancelled,
+    ReproError,
 )
 from repro.query import ast
 from repro.core.integration import install_structural_optimizer
@@ -181,9 +182,14 @@ class QueryService:
         """Run a batch through the pool, blocking for queue room (never
         rejecting), and return results in submission order.
 
-        With ``return_exceptions``, a query that raises (e.g. a syntax
-        error) yields its exception object in place of a result instead of
-        aborting the whole batch — the CLI's behaviour.
+        With ``return_exceptions``, a query that raises a library error
+        (a syntax error, a missed deadline, a blown budget) yields its
+        exception object in place of a result instead of aborting the
+        whole batch — the CLI's behaviour.  Cancellation is different: a
+        :class:`~repro.errors.QueryCancelled` means the *caller* asked to
+        stop, so it always propagates and aborts the batch.  Anything
+        outside :class:`~repro.errors.ReproError` is a bug, not a query
+        outcome, and propagates too.
         """
         futures = [
             self.pool.submit_blocking(
@@ -195,7 +201,9 @@ class QueryService:
         for future in futures:
             try:
                 results.append(future.result())
-            except Exception as exc:
+            except QueryCancelled:
+                raise
+            except ReproError as exc:
                 if not return_exceptions:
                     raise
                 results.append(exc)
@@ -283,7 +291,7 @@ class QueryService:
             self.metrics.record_error()
             self.metrics.record_memory_abort()
             raise
-        except Exception:
+        except ReproError:
             self.metrics.record_error()
             raise
         self.metrics.record_query(

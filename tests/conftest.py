@@ -46,6 +46,27 @@ def _per_test_deadline():
 
 
 # ---------------------------------------------------------------------------
+# Dynamic lock-order witness (opt-in: HDQO_LOCKCHECK=1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_witness():
+    """Fail the session if the lock witness saw an acquisition cycle.
+
+    With ``HDQO_LOCKCHECK=1``, every lock built by
+    :func:`repro.analysis.lockwitness.make_lock` reports to the global
+    witness; any two locks ever taken in opposite orders anywhere in the
+    suite raise :class:`~repro.errors.LockOrderViolation` here.
+    """
+    yield
+    from repro.analysis.lockwitness import GLOBAL_WITNESS, lockcheck_enabled
+
+    if lockcheck_enabled():
+        GLOBAL_WITNESS.assert_clean()
+
+
+# ---------------------------------------------------------------------------
 # Brute-force reference evaluation (used to validate every evaluator)
 # ---------------------------------------------------------------------------
 
