@@ -1,0 +1,120 @@
+"""Record the parallel-executor benchmark into ``BENCH_parallel.json``.
+
+Runs the chain and star workloads serial vs parallel (2 and 4 workers),
+verifies exact row/order parity, and writes one JSON document with wall
+clock (median of ``--repeats`` runs), deterministic work-unit totals, and
+the speedup — the perf-trajectory data point the ROADMAP asks for:
+
+    python scripts/bench_record.py [--output BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.optimizer import HybridOptimizer
+from repro.workloads.synthetic import (
+    StarConfig,
+    SyntheticConfig,
+    generate_star_database,
+    generate_synthetic_database,
+    star_query_sql,
+    synthetic_query_sql,
+)
+
+CHAIN = SyntheticConfig(
+    n_atoms=10, cardinality=1000, selectivity=30, cyclic=True, seed=7
+)
+STAR = StarConfig(n_dimensions=6, fact_rows=2000, dimension_rows=200, seed=5)
+
+WORKLOADS = [
+    ("chain", generate_synthetic_database, CHAIN, synthetic_query_sql, 2),
+    ("star", generate_star_database, STAR, star_query_sql, 3),
+]
+
+WORKER_COUNTS = (2, 4)
+
+
+def measure(plan, workers: int, repeats: int):
+    walls = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = plan.execute(parallel_workers=workers)
+        walls.append(time.perf_counter() - started)
+    return {
+        "wall_seconds": statistics.median(walls),
+        "wall_seconds_min": min(walls),
+        "work_units": result.work,
+        "rows": len(result.relation),
+    }, result
+
+
+def run(repeats: int) -> dict:
+    report = {
+        "benchmark": "parallel-qhd-evaluation",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "workloads": {},
+    }
+    for name, generate, config, to_sql, width in WORKLOADS:
+        db = generate(config)
+        plan = HybridOptimizer(db, max_width=width, use_statistics=False).optimize(
+            to_sql(config), name=name
+        )
+        serial_stats, serial = measure(plan, 0, repeats)
+        entry = {"config": str(config), "max_width": width, "serial": serial_stats}
+        for workers in WORKER_COUNTS:
+            parallel_stats, parallel = measure(plan, workers, repeats)
+            identical = (
+                parallel.relation.attributes == serial.relation.attributes
+                and parallel.relation.tuples == serial.relation.tuples
+            )
+            parallel_stats["identical_to_serial"] = identical
+            parallel_stats["speedup"] = round(
+                serial_stats["wall_seconds"] / parallel_stats["wall_seconds"], 3
+            )
+            entry[f"parallel_{workers}"] = parallel_stats
+            if not identical:
+                raise SystemExit(
+                    f"PARITY FAILURE: {name} with {workers} workers "
+                    "returned different rows than serial"
+                )
+        report["workloads"][name] = entry
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per configuration"
+    )
+    args = parser.parse_args()
+    report = run(args.repeats)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    chain = report["workloads"]["chain"]
+    speedup = chain["parallel_4"]["speedup"]
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nchain speedup at 4 workers: {speedup}x "
+        f"({'meets' if speedup >= 1.5 else 'BELOW'} the 1.5x bar)"
+    )
+    return 0 if speedup >= 1.5 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,12 @@ class CheckpointCoverageRule(Rule):
         "a loop that charges WorkMeter units must call context.checkpoint()"
         " or context.tick() somewhere in its loop nest"
     )
-    scopes = ("repro/engine/", "repro/relational/", "repro/core/")
+    scopes = (
+        "repro/engine/",
+        "repro/relational/",
+        "repro/core/",
+        "repro/parallel/",
+    )
 
     def check(self, source: FileSource) -> List[Finding]:
         findings: List[Finding] = []
@@ -121,7 +126,7 @@ class WorkChargingRule(Rule):
         "a function with a `meter` parameter must reference it (charge or"
         " forward); accepting and dropping the meter leaks work accounting"
     )
-    scopes = ("repro/engine/", "repro/relational/")
+    scopes = ("repro/engine/", "repro/relational/", "repro/parallel/")
 
     def check(self, source: FileSource) -> List[Finding]:
         findings: List[Finding] = []

@@ -84,9 +84,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     plan = HybridOptimizer(database, max_width=args.width).optimize(sql)
     qhd = plan.execute(work_budget=budget, spill=dbms.spill_model)
     rows.append(("q-hd", qhd))
+    if args.parallel >= 2:
+        qhd_par = plan.execute(
+            work_budget=budget,
+            spill=dbms.spill_model,
+            parallel_workers=args.parallel,
+        )
+        rows.append((f"q-hd(par={args.parallel})", qhd_par))
 
     coupled = SimulatedDBMS(database, POSTGRES_PROFILE)
-    install_structural_optimizer(coupled, max_width=args.width)
+    install_structural_optimizer(
+        coupled, max_width=args.width, parallel_workers=args.parallel
+    )
     rows.append(("postgres+q-hd", coupled.run_sql(sql, work_budget=budget)))
 
     print(f"{'system':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
@@ -225,6 +234,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.deadline_ms / 1000.0 if args.deadline_ms else None
         ),
         fault_injector=injector,
+        parallel_workers=args.parallel,
     )
     exit_code = 0
     tracer = None
@@ -416,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run a query on every system and compare")
     common(p)
     p.add_argument("--budget", type=int, default=5_000_000)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="intra-query parallel q-HD evaluation on N workers "
+        "(0/1 = serial; results are identical either way)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("explain", help="engine plan vs decomposition plan")
@@ -524,6 +542,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="drain grace period (seconds) on SIGINT/SIGTERM",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="intra-query parallel q-HD evaluation on N workers per query "
+        "(0/1 = serial; results are identical either way)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -77,6 +77,7 @@ def install_structural_optimizer(
     plan_cache: "Optional[PlanCache]" = None,
     metrics: "Optional[ServiceMetrics]" = None,
     breaker: "Optional[CircuitBreaker]" = None,
+    parallel_workers: int = 0,
 ) -> OptimizerHandler:
     """Replace the engine's optimizer handler with the structural pipeline.
 
@@ -97,6 +98,11 @@ def install_structural_optimizer(
             by template fingerprint; templates whose planning keeps failing
             skip the cost-k-decomp search (straight to the ladder's
             fallback steps) until the cooldown elapses.
+        parallel_workers: ``>= 2`` evaluates decompositions on that many
+            pool workers (:class:`repro.parallel.ParallelQHDEvaluator`)
+            with a per-request :class:`repro.parallel.NodeMemo`; ``0``/``1``
+            keeps the serial evaluator, byte-identical to previous
+            releases.
 
     The installed handler plans through a **degradation ladder**: (1) the
     cost-k-decomp search at ``max_width`` (cache-accelerated); on failure
@@ -107,6 +113,14 @@ def install_structural_optimizer(
     on the ``serve.plan`` span (``degraded_to``, ``breaker_open`` tags)
     and as a :class:`ServiceMetrics` counter.
 
+    In parallel mode the ladder extends into *execution*: when evaluating
+    the chosen decomposition fails with a ladder error, the handler
+    retries once with a cached lower-width plan — passing the **same**
+    per-request node memo, so every subtree the failed attempt already
+    materialized (and the retry's tree shares) is reused instead of
+    recomputed.  The memo never outlives the request, so plan-cache
+    stats-version invalidation still governs freshness.
+
     Returns:
         The installed handler (also retained on the DBMS); call
         ``dbms.set_optimizer_handler(None)`` to uninstall.
@@ -115,6 +129,15 @@ def install_structural_optimizer(
     # them so a repeated query re-reads the statistics catalog zero times.
     model_cache: dict = {}
     model_lock = make_lock("integration.model_cache")
+
+    # One shared two-tier pool for every request the handler serves;
+    # node tasks never wait on other node tasks, so requests interleave
+    # on it without deadlock risk.
+    pool = None
+    if parallel_workers >= 2:
+        from repro.parallel import SubtreePool
+
+        pool = SubtreePool(parallel_workers)
 
     def _model_for(
         engine: SimulatedDBMS, translation: TranslationResult, use_stats: bool
@@ -331,23 +354,63 @@ def install_structural_optimizer(
                 metrics.record_plan(
                     cache_hit=cache_hit, units=plan_units, seconds=plan_seconds
                 )
+        def _evaluate(tree, memo):
+            base = atom_relations(
+                translation.query, engine.database, translation, meter
+            )
+            if parallel_workers >= 2:
+                from repro.parallel import ParallelQHDEvaluator
+
+                return ParallelQHDEvaluator(
+                    tree,
+                    translation.query,
+                    meter,
+                    spill=engine.spill_model,
+                    tracer=tracer,
+                    workers=parallel_workers,
+                    memo=memo,
+                    pool=pool,
+                ).evaluate(base)
+            return QHDEvaluator(
+                tree,
+                translation.query,
+                meter,
+                spill=engine.spill_model,
+                tracer=tracer,
+            ).evaluate(base)
+
         with tracer.span(
             "serve.execute",
             meter=meter,
             query=translation.query.name,
             cache_hit=cache_hit,
         ) as span:
-            base = atom_relations(
-                translation.query, engine.database, translation, meter
-            )
-            evaluator = QHDEvaluator(
-                decomposition,
-                translation.query,
-                meter,
-                spill=engine.spill_model,
-                tracer=tracer,
-            )
-            answer = evaluator.evaluate(base)
+            memo = None
+            if parallel_workers >= 2:
+                from repro.parallel import NodeMemo
+
+                memo = NodeMemo()
+            try:
+                answer = _evaluate(decomposition, memo)
+            except _LADDER_ERRORS:
+                # Execution-level ladder rung (parallel mode only): retry
+                # once with a cached lower-width plan, sharing the same
+                # per-request memo so subtrees the failed attempt already
+                # materialized are reused, not recomputed.
+                if memo is None or lower_k is not None:
+                    raise
+                retry_tree, retry_k = _cached_lower_k(
+                    engine, translation, use_stats
+                )
+                if retry_tree is None:
+                    raise
+                span.tag(exec_degraded_to=f"lower-k({retry_k})")
+                if metrics is not None:
+                    metrics.record_degradation("exec-lower-k")
+                answer = _evaluate(retry_tree, memo)
+                decomposition, lower_k = retry_tree, retry_k
+            if memo is not None:
+                span.tag(memo_hits=memo.hits)
             span.tag(rows_out=len(answer))
         if lower_k is not None:
             label = f"q-hd(k={lower_k})"
@@ -356,4 +419,5 @@ def install_structural_optimizer(
         return answer, decomposition.render(), label
 
     dbms.set_optimizer_handler(handler)
+    handler.parallel_pool = pool  # type: ignore[attr-defined]
     return handler

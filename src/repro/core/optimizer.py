@@ -131,8 +131,14 @@ class OptimizedPlan:
         work_budget: Optional[int] = None,
         spill: Optional[SpillModel] = None,
         tracer: "Optional[Union[Tracer, NullTracer]]" = None,
+        parallel_workers: int = 0,
     ) -> DBMSResult:
-        """Evaluate via the q-hypertree evaluator and apply SQL semantics."""
+        """Evaluate via the q-hypertree evaluator and apply SQL semantics.
+
+        ``parallel_workers >= 2`` evaluates the decomposition tree on that
+        many pool workers with the fused batch kernels; ``0``/``1`` is the
+        serial path, byte-identical to previous releases.
+        """
         from repro.errors import WorkBudgetExceeded
 
         meter = WorkMeter(budget=work_budget)
@@ -141,13 +147,25 @@ class OptimizedPlan:
             base = atom_relations(
                 self.translation.query, self.database, self.translation, meter
             )
-            evaluator = QHDEvaluator(
-                self.decomposition,
-                self.translation.query,
-                meter,
-                spill,
-                tracer=tracer,
-            )
+            if parallel_workers >= 2:
+                from repro.parallel import ParallelQHDEvaluator
+
+                evaluator = ParallelQHDEvaluator(
+                    self.decomposition,
+                    self.translation.query,
+                    meter,
+                    spill,
+                    tracer=tracer,
+                    workers=parallel_workers,
+                )
+            else:
+                evaluator = QHDEvaluator(
+                    self.decomposition,
+                    self.translation.query,
+                    meter,
+                    spill,
+                    tracer=tracer,
+                )
             answer = evaluator.evaluate(base)
             final = apply_sql_semantics(answer, self.translation, meter)
             finished = True

@@ -81,6 +81,7 @@ class Span:
         "_meter",
         "_work_start",
         "_t0",
+        "_pinned_parent",
     )
 
     def __init__(
@@ -91,9 +92,11 @@ class Span:
         name: str,
         meter: Optional[WorkMeter],
         tags: Dict[str, Any],
+        pinned_parent: bool = False,
     ):
         self.span_id = span_id
         self.parent_id = parent_id
+        self._pinned_parent = pinned_parent
         self.name = name
         self.thread = threading.current_thread().name
         self.tags = tags
@@ -190,11 +193,20 @@ class Tracer:
         self,
         name: str,
         meter: Optional[WorkMeter] = None,
+        parent_id: Optional[int] = None,
         **tags: Any,
     ) -> Span:
-        """Create a span; use as a context manager to time it."""
+        """Create a span; use as a context manager to time it.
+
+        ``parent_id`` pins the span under an explicit parent — the hook for
+        cross-thread parenting: a worker thread has an empty span stack of
+        its own, so a span it opens would otherwise become a root even
+        though it logically belongs under the span that submitted the work.
+        """
         with self._lock:
             span_id = next(self._counter)
+        if parent_id is not None:
+            return Span(self, span_id, parent_id, name, meter, tags, pinned_parent=True)
         return Span(self, span_id, self._current_parent_id(), name, meter, tags)
 
     def _current_parent_id(self) -> Optional[int]:
@@ -206,8 +218,10 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         # Re-resolve the parent at enter time: the span may have been
-        # created before sibling spans opened/closed on this thread.
-        span.parent_id = stack[-1].span_id if stack else None
+        # created before sibling spans opened/closed on this thread.  A
+        # pinned parent (cross-thread parenting) is never overwritten.
+        if not span._pinned_parent:
+            span.parent_id = stack[-1].span_id if stack else None
         stack.append(span)
         with self._lock:
             self._open += 1
@@ -320,7 +334,13 @@ class NullTracer:
     enabled = False
     dropped = 0
 
-    def span(self, name: str, meter: Optional[WorkMeter] = None, **tags: Any) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        meter: Optional[WorkMeter] = None,
+        parent_id: Optional[int] = None,
+        **tags: Any,
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def spans(self, name: Optional[str] = None) -> List[Span]:

@@ -1,0 +1,14 @@
+"""Intra-query parallel q-HD evaluation (scheduler, memo, batch kernels)."""
+
+from repro.parallel.executor import ParallelQHDEvaluator, SubtreePool
+from repro.parallel.kernels import fused_join_project, joined_attributes
+from repro.parallel.memo import NodeMemo, subtree_signature
+
+__all__ = [
+    "ParallelQHDEvaluator",
+    "SubtreePool",
+    "NodeMemo",
+    "subtree_signature",
+    "fused_join_project",
+    "joined_attributes",
+]

@@ -1,0 +1,531 @@
+"""Intra-query parallel evaluation of q-hypertree decompositions.
+
+The q-HD evaluator's single bottom-up pass has an obvious parallel
+structure: sibling subtrees of the decomposition tree touch disjoint parts
+of the pass, so they can materialize concurrently while each parent join
+waits only on its own children.  :class:`ParallelQHDEvaluator` exploits it
+with a *topological* scheduler: every tree node becomes one task on a
+bounded worker pool, submitted the moment its children's results exist —
+no worker ever blocks on another node task, so any pool size ≥ 1 is
+deadlock-free.
+
+Three properties are guaranteed:
+
+* **Determinism** — results are identical (rows *and* order) to the serial
+  :class:`~repro.core.evaluator.QHDEvaluator` regardless of worker count.
+  The per-node fold replays the serial fold order exactly, and the fused
+  join+project kernel (:mod:`repro.parallel.kernels`) is row-for-row
+  equivalent to join-then-project.
+* **Resilience semantics survive** — every worker runs under a fan-out
+  :class:`~repro.resilience.context.ExecutionContext` carrying the query's
+  deadline/memory/fault bounds plus a shared cancellation token; the first
+  failing node cancels every sibling at its next checkpoint.
+* **Observability survives** — worker ``qhd.node`` spans are pinned under
+  the submitting ``qhd.parallel`` span (cross-thread parenting), and the
+  scheduler feeds ``parallel_*`` counters in the global metrics registry.
+
+Memoization (:mod:`repro.parallel.memo`) is consulted at schedule time:
+structurally identical subtrees — within one tree, or across the
+degradation ladder's retries when the handler shares a per-query
+:class:`~repro.parallel.memo.NodeMemo` — are scheduled once and shared by
+reference.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ExecutionError
+from repro.metering import NULL_METER, SpillModel, WorkMeter
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import NullTracer, Tracer, current_tracer
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.relational.relation import Relation
+from repro.resilience.context import (
+    current_context,
+    fanout_context,
+    set_context,
+)
+from repro.core.evaluator import QHDEvaluator, _constant_atoms_satisfiable
+from repro.core.hypertree import Hypertree, HypertreeNode
+from repro.parallel.kernels import fused_join_project, joined_attributes
+from repro.parallel.memo import NodeMemo, subtree_signature
+
+__all__ = ["SubtreePool", "ParallelQHDEvaluator"]
+
+
+class SubtreePool:
+    """A bounded two-tier worker pool for parallel q-HD evaluation.
+
+    Node tasks (one per decomposition node) run on the *node* tier; the
+    fused join kernel's hash-partitioned probe chunks run on the separate
+    *kernel* tier.  Node workers may block on kernel futures but kernel
+    workers never submit anything, so the wait graph is acyclic and the
+    pool cannot deadlock at any size.
+
+    Both tiers propagate the submitting query's
+    :class:`~repro.resilience.context.ExecutionContext` into the worker
+    thread, so deadlines, cancellation, memory budgets, and fault
+    injection behave exactly as they do serially.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("SubtreePool needs at least 1 worker")
+        self.workers = workers
+        self._nodes = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="qhd-node"
+        )
+        # Kernel-tier concurrency beyond the machine's cores buys nothing
+        # (chunk probing is pure CPU); on a single core the tier is a
+        # queue handoff with no upside, so chunks run inline instead.
+        self._kernel_workers = min(workers, os.cpu_count() or 1)
+        self._kernels = ThreadPoolExecutor(
+            max_workers=self._kernel_workers, thread_name_prefix="qhd-kernel"
+        )
+
+    # ------------------------------------------------------------------
+
+    def submit_node(
+        self,
+        fn: Callable[..., object],
+        *args: object,
+        context: object = None,
+    ) -> "Future[object]":
+        """Schedule one node task; ``context`` (or the caller's current
+        context) is installed in the worker for the task's duration."""
+        ctx = context if context is not None else current_context()
+
+        def task() -> object:
+            set_context(ctx)  # type: ignore[arg-type]
+            try:
+                return fn(*args)
+            finally:
+                set_context(None)
+
+        return self._nodes.submit(task)
+
+    def run_kernel_chunks(
+        self,
+        fn: Callable[[List[Tuple[object, ...]]], List[Tuple[object, ...]]],
+        chunks: Sequence[List[Tuple[object, ...]]],
+    ) -> List[List[Tuple[object, ...]]]:
+        """Run ``fn`` over every chunk on the kernel tier; results are
+        returned in chunk order.  All chunks are awaited even on error (no
+        task is left running against the inputs), then the first chunk's
+        error — deterministic under chunk ordering — propagates."""
+        if self._kernel_workers <= 1:
+            # Single effective kernel worker: the queue round-trip is pure
+            # overhead, and the calling node worker already carries the
+            # right execution context.  Results are identical either way.
+            return [fn(chunk) for chunk in chunks]
+        ctx = current_context()
+
+        def task(chunk: List[Tuple[object, ...]]) -> List[Tuple[object, ...]]:
+            set_context(ctx)  # type: ignore[arg-type]
+            try:
+                return fn(chunk)
+            finally:
+                set_context(None)
+
+        futures = [self._kernels.submit(task, chunk) for chunk in chunks]
+        wait(futures)
+        results: List[List[Tuple[object, ...]]] = []
+        for future in futures:
+            results.append(future.result())
+        return results
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._nodes.shutdown(wait=True, cancel_futures=True)
+        self._kernels.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SubtreePool":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SubtreePool({self.workers} workers)"
+
+
+class ParallelQHDEvaluator:
+    """Parallel drop-in for :class:`~repro.core.evaluator.QHDEvaluator`.
+
+    Args:
+        decomposition: the q-hypertree decomposition to evaluate.
+        query: the conjunctive query.
+        meter: work-unit accounting (thread-safe; shared by all workers).
+        spill: optional spill model charged per materialized intermediate.
+        tracer: span sink; worker spans parent under ``qhd.parallel``.
+        workers: worker count.  ``workers <= 1`` delegates to the serial
+            evaluator — same code path, same charges, zero overhead.
+        memo: a per-query :class:`NodeMemo`; pass the same instance across
+            degradation-ladder retries to share subtree materializations.
+        pool: an existing :class:`SubtreePool` to run on; without one, an
+            ephemeral pool is created per :meth:`evaluate` call.
+    """
+
+    def __init__(
+        self,
+        decomposition: Hypertree,
+        query: ConjunctiveQuery,
+        meter: WorkMeter = NULL_METER,
+        spill: Optional[SpillModel] = None,
+        tracer: "Optional[Union[Tracer, NullTracer]]" = None,
+        workers: int = 2,
+        memo: Optional[NodeMemo] = None,
+        pool: Optional[SubtreePool] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.decomposition = decomposition
+        self.query = query
+        self.meter = meter
+        self.spill = spill
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.workers = workers
+        self.memo = memo
+        self._pool = pool
+        self._trace: List[str] = []
+        self._relations: Mapping[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, relations: Mapping[str, Relation]) -> Relation:
+        """Run P′+P″+P‴ in parallel; identical results to the serial pass."""
+        if self.workers <= 1:
+            serial = QHDEvaluator(
+                self.decomposition,
+                self.query,
+                self.meter,
+                self.spill,
+                tracer=self.tracer,
+            )
+            answer = serial.evaluate(relations)
+            self._trace = serial.trace()
+            return answer
+
+        output = list(self.query.output)
+        if not _constant_atoms_satisfiable(self.query, relations):
+            return Relation(output, [])
+        root_rel = self._run_tree(relations)
+        if root_rel is None:
+            raise ExecutionError(
+                "decomposition root produced no relation (empty λ and no children)"
+            )
+        missing = [v for v in output if not root_rel.has_attribute(v)]
+        if missing:
+            raise ExecutionError(
+                f"output variables missing at the decomposition root: {missing} "
+                "(the root must cover out(Q) — Definition 2, condition 2)"
+            )
+        return root_rel.project(output, dedup=True, meter=self.meter)
+
+    def trace(self) -> List[str]:
+        """Evaluation log in the serial evaluator's (post-order) order."""
+        return list(self._trace)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _run_tree(self, relations: Mapping[str, Relation]) -> Optional[Relation]:
+        self._relations = relations
+        memo = self.memo if self.memo is not None else NodeMemo()
+        root = self.decomposition.root
+
+        # Static per-node facts: the interface each parent requests of its
+        # child, and the structural signature keying memoization.
+        keeps: Dict[int, Optional[FrozenSet[str]]] = {root.node_id: None}
+        parents: Dict[int, HypertreeNode] = {}
+        nodes: Dict[int, HypertreeNode] = {}
+        for node in root.walk():
+            nodes[node.node_id] = node
+            for child in node.ordered_children():
+                keeps[child.node_id] = frozenset(child.chi & node.chi)
+                parents[child.node_id] = node
+        signatures = {
+            node_id: subtree_signature(node, keeps[node_id], relations)
+            for node_id, node in nodes.items()
+        }
+
+        # Schedule-time memo/alias resolution, top-down: a subtree whose
+        # signature is already materialized (an earlier ladder attempt) or
+        # claimed by a structurally identical subtree in this tree is not
+        # scheduled at all — neither are its descendants.
+        results: Dict[int, Optional[Relation]] = {}
+        aliases: Dict[int, int] = {}
+        compute: List[int] = []
+        claimed: Dict[object, int] = {}
+        memo_hits = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            signature = signatures[node.node_id]
+            cached = memo.get(signature)
+            if cached is not None:
+                results[node.node_id] = cached
+                memo_hits += 1
+                continue
+            owner = claimed.get(signature)
+            if owner is not None:
+                aliases[node.node_id] = owner
+                memo_hits += 1
+                continue
+            claimed[signature] = node.node_id
+            compute.append(node.node_id)
+            stack.extend(reversed(node.ordered_children()))
+
+        registry = get_registry()
+        registry.counter(
+            "parallel_nodes_scheduled_total",
+            help="Decomposition nodes scheduled on the parallel executor",
+        ).inc(len(compute))
+        registry.counter(
+            "parallel_memo_hits_total",
+            help="Subtree materializations shared via the node memo",
+        ).inc(memo_hits)
+        registry.counter(
+            "parallel_memo_misses_total",
+            help="Subtree materializations computed fresh",
+        ).inc(len(compute))
+
+        # Dependency edges: a node waits for each child's *producer* — the
+        # child itself, or the structurally identical node it aliases.
+        compute_set = set(compute)
+        pending: Dict[int, int] = {}
+        waiters: Dict[int, List[int]] = collections.defaultdict(list)
+        ready: Deque[int] = collections.deque()
+        for node_id in compute:
+            deps = []
+            for child in nodes[node_id].ordered_children():
+                producer = aliases.get(child.node_id, child.node_id)
+                if producer in compute_set and producer not in results:
+                    deps.append(producer)
+            pending[node_id] = len(deps)
+            for dep in deps:
+                waiters[dep].append(node_id)
+            if not deps:
+                ready.append(node_id)
+
+        base_context = current_context()
+        worker_context, fanout_token = fanout_context(base_context)
+        pool = self._pool if self._pool is not None else SubtreePool(self.workers)
+        own_pool = self._pool is None
+        node_traces: Dict[int, List[str]] = {}
+        futures: Dict["Future[object]", int] = {}
+        try:
+            with self.tracer.span(
+                "qhd.parallel",
+                meter=self.meter,
+                workers=self.workers,
+                nodes=len(nodes),
+                scheduled=len(compute),
+            ) as parallel_span:
+                parent_span_id = getattr(parallel_span, "span_id", 0) or None
+                try:
+                    while ready or futures:
+                        while ready:
+                            node_id = ready.popleft()
+                            node = nodes[node_id]
+                            child_rels = [
+                                (
+                                    child,
+                                    results.get(
+                                        aliases.get(child.node_id, child.node_id)
+                                    ),
+                                )
+                                for child in node.ordered_children()
+                            ]
+                            futures[
+                                pool.submit_node(
+                                    self._run_node,
+                                    node,
+                                    keeps[node_id],
+                                    child_rels,
+                                    pool,
+                                    parent_span_id,
+                                    context=worker_context,
+                                )
+                            ] = node_id
+                        done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            node_id = futures.pop(future)
+                            rel, lines = future.result()  # type: ignore[misc]
+                            node_traces[node_id] = lines
+                            results[node_id] = rel
+                            if rel is not None:
+                                memo.put(signatures[node_id], rel)
+                            for waiter in waiters.get(node_id, ()):
+                                pending[waiter] -= 1
+                                if pending[waiter] == 0:
+                                    ready.append(waiter)
+                except BaseException as exc:
+                    # Fan the failure out: every sibling still running
+                    # observes the token at its next checkpoint instead of
+                    # finishing doomed work; then drain and re-raise.
+                    fanout_token.cancel(
+                        f"parallel q-HD aborted: {type(exc).__name__}"
+                    )
+                    wait(list(futures))
+                    raise
+                parallel_span.tag(
+                    memo_hits=memo_hits,
+                    memo_entries=len(memo),
+                )
+        finally:
+            if own_pool:
+                pool.close()
+            self._relations = {}
+
+        self._trace = self._assemble_trace(root, results, aliases, node_traces)
+        producer = aliases.get(root.node_id, root.node_id)
+        return results.get(producer)
+
+    def _assemble_trace(
+        self,
+        root: HypertreeNode,
+        results: Dict[int, Optional[Relation]],
+        aliases: Dict[int, int],
+        node_traces: Dict[int, List[str]],
+    ) -> List[str]:
+        """Flatten per-node fold logs in the serial post-order."""
+        lines: List[str] = []
+        for node in root.postorder():
+            node_id = node.node_id
+            if node_id in node_traces:
+                lines.extend(node_traces[node_id])
+            elif node_id in aliases or node_id in results:
+                producer = aliases.get(node_id, node_id)
+                rel = results.get(producer)
+                lines.append(
+                    f"node {node_id}: memo -> "
+                    f"{len(rel) if rel is not None else 0} tuples"
+                )
+        return lines
+
+    # ------------------------------------------------------------------
+    # Per-node fold (runs on a worker thread)
+    # ------------------------------------------------------------------
+
+    def _run_node(
+        self,
+        node: HypertreeNode,
+        keep: Optional[FrozenSet[str]],
+        child_rels: List[Tuple[HypertreeNode, Optional[Relation]]],
+        pool: SubtreePool,
+        parent_span_id: Optional[int],
+    ) -> Tuple[Optional[Relation], List[str]]:
+        current_context().checkpoint("exec.qhd")
+        lines: List[str] = []
+        with self.tracer.span(
+            "qhd.node",
+            meter=self.meter,
+            parent_id=parent_span_id,
+            node=node.node_id,
+            atoms=len(node.lam),
+            children=len(node.children),
+            parallel=True,
+        ) as span:
+            rel = self._fold(node, keep, child_rels, pool, lines)
+            span.tag(
+                rows_out=len(rel) if rel is not None else 0,
+                folds=len(lines),
+            )
+        return rel, lines
+
+    def _fold(
+        self,
+        node: HypertreeNode,
+        keep: Optional[FrozenSet[str]],
+        child_rels: List[Tuple[HypertreeNode, Optional[Relation]]],
+        pool: SubtreePool,
+        lines: List[str],
+    ) -> Optional[Relation]:
+        # Replays the serial ``QHDEvaluator._fold_node`` decision sequence
+        # exactly — guard children first, then greedily smallest-first
+        # among connected sources — so the output is byte-identical.  The
+        # only difference is the kernel: each join+project step runs the
+        # fused kernel instead of natural_join followed by project.
+        guard_ids = {id(child) for child in node.guards.values()}
+        guard_rels: List[Relation] = []
+        other_rels: List[Relation] = []
+        for child, child_rel in child_rels:
+            if child_rel is None:
+                continue
+            if id(child) in guard_ids:
+                guard_rels.append(child_rel)
+            else:
+                other_rels.append(child_rel)
+        other_rels.extend(self._relations[name] for name in node.lam)
+
+        context = current_context()
+        rel: Optional[Relation] = None
+        pending = sorted(guard_rels, key=len) + sorted(other_rels, key=len)
+        n_guards = len(guard_rels)
+        while pending:
+            context.checkpoint("exec.qhd")
+            if n_guards > 0 or rel is None:
+                index = 0
+                n_guards = max(n_guards - 1, 0)
+            else:
+                attrs = set(rel.attributes)
+                index = next(
+                    (
+                        i
+                        for i, candidate in enumerate(pending)
+                        if attrs & set(candidate.attributes)
+                    ),
+                    0,
+                )
+            source = pending.pop(index)
+            linking: set = set()
+            for remaining in pending:
+                linking.update(remaining.attributes)
+            target = node.chi if keep is None else keep
+            if rel is None:
+                kept_attrs = [
+                    a
+                    for a in source.attributes
+                    if a in target
+                    or a in linking
+                    or (keep is not None and a in node.chi and pending)
+                ]
+                rel = source.project(kept_attrs, dedup=True, meter=self.meter)
+            else:
+                joined = joined_attributes(rel, source)
+                kept_attrs = [
+                    a
+                    for a in joined
+                    if a in target
+                    or a in linking
+                    or (keep is not None and a in node.chi and pending)
+                ]
+                rel = fused_join_project(
+                    rel, source, kept_attrs, meter=self.meter, pool=pool
+                )
+            context.account(len(rel), len(rel.attributes), "exec.qhd")
+            if self.spill is not None:
+                self.spill.charge(self.meter, len(rel))
+            lines.append(
+                f"node {node.node_id}: fold {source.name or 'child'} "
+                f"-> {len(rel)} tuples"
+            )
+        return rel

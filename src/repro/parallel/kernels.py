@@ -1,0 +1,248 @@
+"""Batch join kernels for the parallel q-HD executor.
+
+The serial evaluator's per-fold step is ``natural_join`` followed by
+``project(dedup=True)`` — it materializes every joined row, then a second
+pass re-extracts the kept columns and discards duplicates.  On the paper's
+chain workloads that projection pass is the single largest work category,
+and most joined rows are duplicates under projection.
+
+:func:`fused_join_project` fuses the two operators: it enumerates the same
+(probe row, build match) pairs in the same order as ``natural_join``, but
+constructs only the *projected* tuple for each pair and emits it at its
+first occurrence.  The output relation is byte-identical — same rows, same
+row order — to ``left.natural_join(right).project(keep, dedup=True)``,
+while never materializing the full-width intermediate.  That equivalence
+is what lets parallel evaluation promise results identical to serial.
+
+Because only projected columns survive, the kernel also *deduplicates
+eagerly on both sides*: build buckets store each distinct kept suffix once
+(first occurrence wins, preserving emission order), and the probe side is
+collapsed to its distinct (join key, kept head) pairs — in probe-row
+order, at C speed — before any bucket is enumerated: a repeat probe row
+can only re-emit candidates its first occurrence already produced.  On the
+paper's cyclic chain workloads most pairs are duplicates under projection,
+so this collapses the pair enumeration itself, not just the output.  When
+every join-key attribute is itself kept, equal candidates imply equal
+(key, head, suffix) triples, so the enumerated candidates are *provably
+distinct* and the output needs no dedup pass at all.
+
+Work accounting stays honest: build/probe rows are charged exactly as in
+``natural_join`` (in ≤ :data:`CHUNK_ROWS` blocks); each *enumerated* pair
+charges one ``join-out`` unit — per :data:`_PROBE_BLOCK` block, before any
+of the block's tuples are constructed — so a budgeted meter still aborts a
+blow-up while it is hypothetical.  Pairs the dedup never enumerates charge
+nothing: the kernel genuinely does less work, and the meter says so.  No
+``project`` units are charged — there is no projection pass.
+
+With a :class:`~repro.parallel.executor.SubtreePool`, a large pair list is
+hash-partitioned into blocks enumerated concurrently; block results are
+concatenated (or merged through one insertion-ordered dict when a dedup
+pass is needed) in block order, so the output is independent of worker
+count and identical to the serial scan.
+"""
+
+from __future__ import annotations
+
+import operator
+from itertools import repeat
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.metering import NULL_METER, WorkMeter
+from repro.relational.relation import Relation, _key_getter, _row_getter
+from repro.resilience.context import current_context
+
+if TYPE_CHECKING:
+    from repro.parallel.executor import SubtreePool
+
+__all__ = ["CHUNK_ROWS", "joined_attributes", "fused_join_project"]
+
+#: Probe rows per batch: one cooperative checkpoint and one bulk meter
+#: charge per chunk (matches ``relation._CHECK_EVERY``), and the unit of
+#: hash-partitioned parallel probing.
+CHUNK_ROWS = 4096
+
+#: A deduplicated pair list smaller than this is never worth fanning out
+#: to the pool.
+_MIN_PARALLEL_PROBE = 2 * CHUNK_ROWS
+
+#: Distinct (key, head) pairs per charge/checkpoint block in the probe
+#: phase: each block's enumerated-pair total is charged before any of its
+#: tuples are constructed.
+_PROBE_BLOCK = 1024
+
+
+def _tuple_iter(
+    indices: Sequence[int],
+    rows: "List[Tuple[object, ...]]",
+) -> "Iterator[Tuple[object, ...]]":
+    """Iterate ``rows`` projected onto ``indices`` as tuples, at C speed.
+
+    ``zip`` of a single iterable yields 1-tuples, which sidesteps the
+    per-row Python lambda a 1-column :func:`_row_getter` would cost.
+    """
+    if not indices:
+        return iter([()] * len(rows))
+    if len(indices) == 1:
+        return zip(map(operator.itemgetter(indices[0]), rows))
+    return map(operator.itemgetter(*indices), rows)
+
+
+def joined_attributes(left: Relation, right: Relation) -> List[str]:
+    """The attribute order ``left.natural_join(right)`` would produce.
+
+    ``natural_join`` builds on the smaller side and emits probe attributes
+    first; the caller needs this order to compute projection lists without
+    materializing the join.
+    """
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    return list(probe.attributes) + [
+        a for a in build.attributes if a not in probe._index
+    ]
+
+
+def fused_join_project(
+    left: Relation,
+    right: Relation,
+    keep: Sequence[str],
+    meter: WorkMeter = NULL_METER,
+    pool: "Optional[SubtreePool]" = None,
+) -> Relation:
+    """⋈ + π + distinct in one pass.
+
+    Args:
+        left, right: join inputs (hash join on shared attribute names; no
+            shared names degenerates to a cartesian product, as in
+            ``natural_join``).
+        keep: output attributes — any subset of
+            :func:`joined_attributes` ``(left, right)``, in any order.
+        meter: work-unit accounting (see module docstring for charges).
+        pool: when given and the probe side is large, probe chunks run on
+            the pool's kernel workers.
+
+    Returns:
+        A relation equal — rows and order — to
+        ``left.natural_join(right, meter).project(keep, dedup=True, meter)``.
+    """
+    shared = left.shared_attributes(right)
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    build_idx = [build.index_of(a) for a in shared]
+    probe_idx = [probe.index_of(a) for a in shared]
+    build_rest_attrs = [a for a in build.attributes if a not in probe._index]
+
+    out_attrs = list(keep)
+    probe_keep = [a for a in out_attrs if a in probe._index]
+    rest_keep = [a for a in out_attrs if a not in probe._index]
+    probe_keep_idx = [probe.index_of(a) for a in probe_keep]
+    rest_keep_idx = [build_rest_attrs.index(a) for a in rest_keep]
+    # Rows are enumerated as ``head + rest`` (probe-kept columns first);
+    # when ``keep`` interleaves the sides differently, one permutation maps
+    # the emitted layout back — applied once at the end, never on the hot
+    # path the evaluator drives (its ``keep`` follows the joined order).
+    emission_attrs = probe_keep + rest_keep
+
+    context = current_context()
+    build_key = _key_getter(build_idx)
+    probe_key = _key_getter(probe_idx)
+    # Straight from the full build row to its *kept* suffix: the dropped
+    # build columns are never materialized at all.
+    kept_rest_of = _row_getter(
+        [build.index_of(build_rest_attrs[i]) for i in rest_keep_idx]
+    )
+
+    # Build phase — row charges identical to ``natural_join``, but each
+    # bucket is an insertion-ordered dict of *distinct kept suffixes*:
+    # duplicates under projection collapse here instead of being
+    # enumerated once per probe match downstream.
+    table: Dict[object, Dict[Tuple[object, ...], None]] = {}
+    table_get = table.get
+    build_rows = build.tuples
+    for start in range(0, len(build_rows), CHUNK_ROWS):
+        context.checkpoint("exec.join")
+        chunk = build_rows[start : start + CHUNK_ROWS]
+        meter.charge(len(chunk), "join-build")
+        for row in chunk:
+            key = build_key(row)
+            bucket = table_get(key)
+            if bucket is None:
+                table[key] = {kept_rest_of(row): None}
+            else:
+                bucket[kept_rest_of(row)] = None
+
+    probe_rows = probe.tuples
+    n_probe = len(probe_rows)
+
+    # Probe-side row charges, chunked exactly as ``natural_join`` charges
+    # its probe scan.
+    for start in range(0, n_probe, CHUNK_ROWS):
+        context.checkpoint("exec.join")
+        meter.charge(min(CHUNK_ROWS, n_probe - start), "join-probe")
+
+    # Distinct (key, head) pairs in probe-row order: a repeat probe row
+    # can only re-emit candidates its first occurrence already produced,
+    # so duplicates are dropped before any bucket is touched — at C
+    # speed, via zip + dict insertion order.
+    if probe_idx:
+        key_iter = map(_key_getter(probe_idx), probe_rows)
+    else:
+        key_iter = iter([()] * n_probe)
+    pairs = list(
+        dict.fromkeys(zip(key_iter, _tuple_iter(probe_keep_idx, probe_rows)))
+    )
+    key_of = operator.itemgetter(0)
+
+    # When every join-key attribute is kept on the probe side, a head
+    # determines its key, so (distinct pair) × (distinct suffix) yields
+    # provably distinct candidates — the output needs no dedup pass.
+    probe_kept = {a for a in out_attrs if a in probe._index}
+    distinct_safe = all(a in probe_kept for a in shared)
+
+    def enumerate_block(
+        block: "List[Tuple[object, Tuple[object, ...]]]",
+    ) -> "List[Tuple[object, ...]]":
+        """Enumerate one block of distinct pairs against the build table."""
+        block_context = current_context()
+        block_context.checkpoint("exec.join")
+        matches_list = list(map(table_get, map(key_of, block)))
+        # The block's exact pair count is charged *before* any tuple is
+        # constructed, so a budgeted meter aborts a blow-up while it is
+        # still hypothetical.
+        width = sum(map(len, filter(None, matches_list)))
+        if not width:
+            return []
+        meter.charge(width, "join-out")
+        return [
+            head + rest
+            for (_, head), matches in zip(block, matches_list)
+            if matches
+            for rest in matches
+        ]
+
+    blocks = [
+        pairs[start : start + _PROBE_BLOCK]
+        for start in range(0, len(pairs), _PROBE_BLOCK)
+    ]
+    if pool is not None and len(pairs) >= _MIN_PARALLEL_PROBE:
+        block_results = pool.run_kernel_chunks(enumerate_block, blocks)
+    else:
+        block_results = [enumerate_block(block) for block in blocks]
+
+    # Merge in block order: the result order equals a single serial
+    # scan's, whatever the worker count or block completion order.
+    name = f"({left.name}⋈{right.name})" if left.name and right.name else ""
+    if distinct_safe:
+        out: List[Tuple[object, ...]] = []
+        out_extend = out.extend
+        for emitted in block_results:
+            context.checkpoint("exec.join")
+            out_extend(emitted)
+    else:
+        merged: Dict[Tuple[object, ...], None] = {}
+        merged_update = merged.update
+        for emitted in block_results:
+            context.checkpoint("exec.join")
+            merged_update(zip(emitted, repeat(None)))
+        out = list(merged)
+    if emission_attrs != out_attrs:
+        reorder = _row_getter([emission_attrs.index(a) for a in out_attrs])
+        out = list(map(reorder, out))
+    return Relation._trusted(out_attrs, out, name=name)

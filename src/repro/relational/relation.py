@@ -46,6 +46,32 @@ _COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
 }
 
 
+def _key_getter(indices: Sequence[int]) -> Callable[[Tuple[object, ...]], object]:
+    """Hash/sort key extractor built once per relation, not once per row.
+
+    A single-column key stays a bare value (cheaper to hash and compare
+    than a 1-tuple, with identical equality/ordering semantics); zero
+    columns — the cartesian case — collapse to one constant key.
+    """
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        return operator.itemgetter(indices[0])
+    return operator.itemgetter(*indices)
+
+
+def _row_getter(
+    indices: Sequence[int],
+) -> Callable[[Tuple[object, ...]], Tuple[object, ...]]:
+    """Like :func:`_key_getter` but always yields a tuple (output rows)."""
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda row: (row[index],)
+    return operator.itemgetter(*indices)
+
+
 class Relation:
     """A named, attribute-addressed bag of tuples.
 
@@ -77,6 +103,25 @@ class Relation:
                     f"tuple arity {len(row)} != schema arity "
                     f"{len(self.attributes)} in relation {self.name!r}"
                 )
+
+    @classmethod
+    def _trusted(
+        cls,
+        attributes: Sequence[str],
+        tuples: List[Tuple[object, ...]],
+        name: str = "",
+    ) -> "Relation":
+        """Construct without the per-row arity scan.
+
+        For hot paths (the parallel batch kernels) whose rows are
+        arity-correct by construction; ``tuples`` is adopted, not copied.
+        """
+        rel = cls.__new__(cls)
+        rel.attributes = tuple(attributes)
+        rel.tuples = tuples
+        rel.name = name
+        rel._index = {attr: i for i, attr in enumerate(rel.attributes)}
+        return rel
 
     # ------------------------------------------------------------------
     # Basics
@@ -140,16 +185,19 @@ class Relation:
         """π over ``attributes``; set semantics when ``dedup`` (the default)."""
         indices = [self.index_of(a) for a in attributes]
         meter.charge(len(self.tuples), "project")
+        row_of = _row_getter(indices)
         if dedup:
-            seen = set()
+            seen: set = set()
+            seen_add = seen.add
             out: List[Tuple[object, ...]] = []
+            out_append = out.append
             for row in self.tuples:
-                key = tuple(row[i] for i in indices)
+                key = row_of(row)
                 if key not in seen:
-                    seen.add(key)
-                    out.append(key)
+                    seen_add(key)
+                    out_append(key)
         else:
-            out = [tuple(row[i] for i in indices) for row in self.tuples]
+            out = list(map(row_of, self.tuples))
         return Relation(attributes, out, name=self.name)
 
     def select(
@@ -250,26 +298,54 @@ class Relation:
         ]
 
         context = current_context()
-        table: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
-        for n, row in enumerate(build.tuples):
-            if n % _CHECK_EVERY == 0:
-                context.checkpoint("exec.join")
-            meter.charge(1, "join-build")
-            key = tuple(row[i] for i in build_idx)
-            table.setdefault(key, []).append(row)
+        build_key = _key_getter(build_idx)
+        probe_key = _key_getter(probe_idx)
+        rest_of = _row_getter(build_rest_idx)
 
+        # Build phase: one hash-table insert per row, keys extracted by a
+        # precompiled itemgetter, the non-key suffix precomputed once per
+        # build row (it is re-emitted for every probe match).  Work is
+        # charged in ≤ _CHECK_EVERY blocks with identical totals.
+        table: Dict[object, List[Tuple[object, ...]]] = {}
+        table_get = table.get
+        build_rows = build.tuples
+        for start in range(0, len(build_rows), _CHECK_EVERY):
+            context.checkpoint("exec.join")
+            chunk = build_rows[start : start + _CHECK_EVERY]
+            meter.charge(len(chunk), "join-build")
+            for row in chunk:
+                key = build_key(row)
+                bucket = table_get(key)
+                if bucket is None:
+                    table[key] = [rest_of(row)]
+                else:
+                    bucket.append(rest_of(row))
+
+        # Probe phase.  The checkpoint is driven by *probe-row* count, not
+        # output count: a long probe with few or no matches must still be
+        # interruptible by deadlines and cancellation.
         out: List[Tuple[object, ...]] = []
-        for row in probe.tuples:
-            meter.charge(1, "join-probe")
-            key = tuple(row[i] for i in probe_idx)
-            matches = table.get(key)
-            if not matches:
-                continue
-            for match in matches:
-                if len(out) % _CHECK_EVERY == 0:
-                    context.checkpoint("exec.join")
-                meter.charge(1, "join-out")
-                out.append(row + tuple(match[i] for i in build_rest_idx))
+        out_extend = out.extend
+        probe_rows = probe.tuples
+        for start in range(0, len(probe_rows), _CHECK_EVERY):
+            context.checkpoint("exec.join")
+            chunk = probe_rows[start : start + _CHECK_EVERY]
+            meter.charge(len(chunk), "join-probe")
+            for row in chunk:
+                matches = table_get(probe_key(row))
+                if not matches:
+                    continue
+                if len(matches) <= _CHECK_EVERY:
+                    # Charged *before* materialization so a budgeted meter
+                    # aborts a blow-up before its rows exist.
+                    meter.charge(len(matches), "join-out")
+                    out_extend([row + rest for rest in matches])
+                else:
+                    for mstart in range(0, len(matches), _CHECK_EVERY):
+                        context.checkpoint("exec.join")
+                        run = matches[mstart : mstart + _CHECK_EVERY]
+                        meter.charge(len(run), "join-out")
+                        out_extend([row + rest for rest in run])
         name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
         return Relation(out_attrs, out, name=name)
 
@@ -288,19 +364,25 @@ class Relation:
             i for i, a in enumerate(other.attributes) if a not in self._index
         ]
         context = current_context()
+        self_key = _key_getter(self_idx)
+        # Inner-side keys and output suffixes are extracted once, not once
+        # per outer row.
+        other_keys = [_key_getter(other_idx)(row) for row in other.tuples]
+        other_rests = [_row_getter(other_rest_idx)(row) for row in other.tuples]
         pairs = 0
         out: List[Tuple[object, ...]] = []
         for row in self.tuples:
-            for other_row in other.tuples:
+            key = self_key(row)
+            for j, other_key in enumerate(other_keys):
                 if pairs % _CHECK_EVERY == 0:
                     context.checkpoint("exec.join")
                 pairs += 1
                 meter.charge(1, "nlj-pair")
-                if all(
-                    row[i] == other_row[j]
-                    for i, j in zip(self_idx, other_idx)
-                ):
-                    out.append(row + tuple(other_row[i] for i in other_rest_idx))
+                if other_key == key:
+                    if len(out) % _CHECK_EVERY == 0:
+                        context.checkpoint("exec.join")
+                    meter.charge(1, "nlj-out")
+                    out.append(row + other_rests[j])
         name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
         return Relation(out_attrs, out, name=name)
 
@@ -319,30 +401,35 @@ class Relation:
             return self.natural_join(other, meter=meter)
         self_idx = [self.index_of(a) for a in shared]
         other_idx = [other.index_of(a) for a in shared]
+        left_key_of = _key_getter(self_idx)
+        right_key_of = _key_getter(other_idx)
         meter.charge(len(self.tuples) + len(other.tuples), "merge-sort")
-        left_rows = sorted(
-            self.tuples, key=lambda row: tuple(row[i] for i in self_idx)
-        )
-        right_rows = sorted(
-            other.tuples, key=lambda row: tuple(row[i] for i in other_idx)
-        )
+        left_rows = sorted(self.tuples, key=left_key_of)
+        right_rows = sorted(other.tuples, key=right_key_of)
+        # Key arrays are materialized once after the sort; the merge loop
+        # below never re-extracts a key tuple.
+        left_keys = list(map(left_key_of, left_rows))
+        right_keys = list(map(right_key_of, right_rows))
         out_attrs = list(self.attributes) + [
             a for a in other.attributes if a not in self._index
         ]
         other_rest_idx = [
             i for i, a in enumerate(other.attributes) if a not in self._index
         ]
+        right_rests = list(map(_row_getter(other_rest_idx), right_rows))
 
         context = current_context()
         steps = 0
         out: List[Tuple[object, ...]] = []
+        out_extend = out.extend
+        n_left, n_right = len(left_rows), len(right_rows)
         i = j = 0
-        while i < len(left_rows) and j < len(right_rows):
+        while i < n_left and j < n_right:
             if steps % _CHECK_EVERY == 0:
                 context.checkpoint("exec.join")
             steps += 1
-            left_key = tuple(left_rows[i][k] for k in self_idx)
-            right_key = tuple(right_rows[j][k] for k in other_idx)
+            left_key = left_keys[i]
+            right_key = right_keys[j]
             meter.charge(1, "merge-advance")
             if left_key < right_key:
                 i += 1
@@ -350,23 +437,18 @@ class Relation:
                 j += 1
             else:
                 # Collect the run of equal keys on both sides.
-                i_end = i
-                while i_end < len(left_rows) and tuple(
-                    left_rows[i_end][k] for k in self_idx
-                ) == left_key:
+                i_end = i + 1
+                while i_end < n_left and left_keys[i_end] == left_key:
                     i_end += 1
-                j_end = j
-                while j_end < len(right_rows) and tuple(
-                    right_rows[j_end][k] for k in other_idx
-                ) == right_key:
+                j_end = j + 1
+                while j_end < n_right and right_keys[j_end] == right_key:
                     j_end += 1
+                run_rests = right_rests[j:j_end]
                 for li in range(i, i_end):
-                    for rj in range(j, j_end):
-                        meter.charge(1, "join-out")
-                        out.append(
-                            left_rows[li]
-                            + tuple(right_rows[rj][k] for k in other_rest_idx)
-                        )
+                    context.tick("exec.join")
+                    left_row = left_rows[li]
+                    meter.charge(len(run_rests), "join-out")
+                    out_extend([left_row + rest for rest in run_rests])
                 i, j = i_end, j_end
         name = f"({self.name}⋈{other.name})" if self.name and other.name else ""
         return Relation(out_attrs, out, name=name)
@@ -384,17 +466,20 @@ class Relation:
             if len(other) == 0:
                 return Relation(self.attributes, [], name=self.name)
             return self.copy()
-        current_context().checkpoint("exec.join")
+        context = current_context()
+        context.checkpoint("exec.join")
         other_idx = [other.index_of(a) for a in shared]
         meter.charge(len(other.tuples), "semijoin-build")
-        keys = {tuple(row[i] for i in other_idx) for row in other.tuples}
-        self_idx = [self.index_of(a) for a in shared]
+        keys = set(map(_key_getter(other_idx), other.tuples))
+        self_key = _key_getter([self.index_of(a) for a in shared])
         meter.charge(len(self.tuples), "semijoin-probe")
-        kept = [
-            row
-            for row in self.tuples
-            if tuple(row[i] for i in self_idx) in keys
-        ]
+        kept: List[Tuple[object, ...]] = []
+        rows = self.tuples
+        for start in range(0, len(rows), _CHECK_EVERY):
+            if start:
+                context.checkpoint("exec.join")
+            chunk = rows[start : start + _CHECK_EVERY]
+            kept.extend([row for row in chunk if self_key(row) in keys])
         return Relation(self.attributes, kept, name=self.name)
 
     def union(self, other: "Relation", meter: WorkMeter = NULL_METER) -> "Relation":
@@ -405,10 +490,16 @@ class Relation:
                 f"{self.attributes} vs {other.attributes}"
             )
         reorder = [other.index_of(a) for a in self.attributes]
-        meter.charge(len(other.tuples), "union")
-        merged = list(self.tuples) + [
-            tuple(row[i] for i in reorder) for row in other.tuples
-        ]
+        context = current_context()
+        aligned = reorder == list(range(len(self.attributes)))
+        row_of = _row_getter(reorder)
+        merged = list(self.tuples)
+        rows = other.tuples
+        for start in range(0, len(rows), _CHECK_EVERY):
+            context.checkpoint("exec.union")
+            chunk = rows[start : start + _CHECK_EVERY]
+            meter.charge(len(chunk), "union")
+            merged.extend(chunk if aligned else list(map(row_of, chunk)))
         return Relation(self.attributes, merged, name=self.name)
 
     # ------------------------------------------------------------------

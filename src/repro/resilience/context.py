@@ -52,6 +52,7 @@ __all__ = [
     "current_context",
     "set_context",
     "resilient",
+    "fanout_context",
 ]
 
 
@@ -284,6 +285,36 @@ def set_context(
 ) -> None:
     """Install ``context`` as this thread's active context (None clears)."""
     _local.context = context if context is not None else NULL_CONTEXT
+
+
+def fanout_context(
+    base: Union[ExecutionContext, NullExecutionContext],
+) -> "tuple[ExecutionContext, CancellationToken]":
+    """A context for a fan-out of worker threads.
+
+    Returns ``(worker_context, fanout_token)``: the worker context carries
+    the same deadline/memory/fault bounds as ``base`` plus a fresh
+    cancellation token parented on ``base``'s (when it has one).  The
+    coordinator cancels ``fanout_token`` the moment any worker fails, so
+    every sibling still running stops at its next checkpoint instead of
+    finishing work whose result is already doomed.
+
+    An inactive ``base`` (:data:`NULL_CONTEXT`) still yields a real
+    context: the fan-out must be cancellable even when the query itself
+    runs unbounded.
+    """
+    parents = (base.token,) if base.token is not None else ()
+    token = CancellationToken(parents=parents)
+    if not base.active:
+        return ExecutionContext(token=token), token
+    worker = ExecutionContext(
+        deadline=base.deadline,
+        token=token,
+        memory=base.memory,
+        faults=base.faults,
+        stride=base.stride,
+    )
+    return worker, token
 
 
 @contextlib.contextmanager

@@ -83,6 +83,12 @@ class QueryService:
         breaker: the per-template :class:`CircuitBreaker` backing the
             degradation ladder; pass one explicitly to share or configure
             it, or leave the default (3 failures, 30 s cooldown).
+        parallel_workers: ``>= 2`` evaluates each query's decomposition
+            tree *intra-query parallel* on that many
+            :class:`repro.parallel.SubtreePool` workers (results identical
+            to serial, rows and order); ``0``/``1`` keeps the serial
+            evaluator.  Orthogonal to ``workers``, which bounds how many
+            *queries* run concurrently.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class QueryService:
         max_intermediate_rows: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
         breaker: Optional[CircuitBreaker] = None,
+        parallel_workers: int = 0,
     ):
         self.dbms = dbms
         self.work_budget = work_budget
@@ -116,6 +123,7 @@ class QueryService:
         self.plan_cache = PlanCache(
             capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
         )
+        self.parallel_workers = parallel_workers
         self._handler = install_structural_optimizer(
             dbms,
             max_width=max_width,
@@ -124,6 +132,7 @@ class QueryService:
             plan_cache=self.plan_cache,
             metrics=self.metrics,
             breaker=self.breaker,
+            parallel_workers=parallel_workers,
         )
         self.pool = ExecutorPool(
             workers=workers, queue_capacity=queue_capacity, name="hdqo-serve"
@@ -329,6 +338,7 @@ class QueryService:
         )
         if self.dbms.optimizer_handler is self._handler:
             self.dbms.set_optimizer_handler(None)
+        self._close_parallel_pool()
         return drained
 
     def close(self) -> None:
@@ -339,6 +349,12 @@ class QueryService:
         self.pool.shutdown(wait=True)
         if self.dbms.optimizer_handler is self._handler:
             self.dbms.set_optimizer_handler(None)
+        self._close_parallel_pool()
+
+    def _close_parallel_pool(self) -> None:
+        parallel_pool = getattr(self._handler, "parallel_pool", None)
+        if parallel_pool is not None:
+            parallel_pool.close()
 
     def __enter__(self) -> "QueryService":
         return self

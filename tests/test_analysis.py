@@ -90,6 +90,33 @@ class TestCheckpointCoverage:
         )
         assert report.findings == []
 
+    def test_parallel_scope_is_covered(self, tmp_path):
+        """A charging loop in ``repro/parallel/`` regresses the lint gate."""
+        report = lint_fixture(
+            tmp_path,
+            "repro/parallel/bad_kernel.py",
+            """
+            def probe(pairs, table, meter):
+                out = []
+                for key, head in pairs:
+                    meter.charge(1, "join-out")
+                    out.extend(head + rest for rest in table[key])
+                return out
+            """,
+        )
+        assert "checkpoint-coverage" in rule_ids(report)
+
+    def test_parallel_scope_meter_drop_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "repro/parallel/dropped.py",
+            """
+            def fused(left, right, keep, meter):
+                return [row for row in left if row in right]
+            """,
+        )
+        assert "work-charging" in rule_ids(report)
+
     def test_charge_outside_loops_is_fine(self, tmp_path):
         report = lint_fixture(
             tmp_path,

@@ -9,6 +9,7 @@ never a poisoned worker.  Faults are injected deterministically
 failure here reproduces.
 """
 
+import os
 import threading
 from concurrent.futures import CancelledError
 
@@ -20,6 +21,16 @@ from repro.resilience import FaultInjector
 from repro.service.server import QueryService
 
 from tests.conftest import CHAIN_SQL
+
+#: CI re-runs this whole suite with intra-query parallel evaluation
+#: (``HDQO_TEST_PARALLEL=4``); the availability contract must hold there too.
+PARALLEL_WORKERS = int(os.environ.get("HDQO_TEST_PARALLEL", "0") or 0)
+
+
+def make_service(dbms: SimulatedDBMS, **kwargs) -> QueryService:
+    """A :class:`QueryService` honouring the suite's parallel-workers knob."""
+    kwargs.setdefault("parallel_workers", PARALLEL_WORKERS)
+    return QueryService(dbms, **kwargs)
 
 #: ~10 % faults across planning, cache, and execution sites.
 STORM_FAULTS = (
@@ -55,7 +66,7 @@ class TestChaosStorm:
     def test_storm_correct_or_typed_error(self, chain_db, baselines):
         injector = FaultInjector(STORM_FAULTS, seed=42)
         queries = storm_queries()
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE),
             max_width=2,
             workers=8,
@@ -98,7 +109,7 @@ class TestChaosStorm:
         """The same seed yields the same per-query verdicts twice."""
 
         def verdicts():
-            svc = QueryService(
+            svc = make_service(
                 SimulatedDBMS(chain_db, COMMDB_PROFILE),
                 max_width=2,
                 workers=1,  # serial: call order (hence firing) is fixed
@@ -124,7 +135,7 @@ class TestChaosStorm:
 
     def test_storm_recovers_when_faults_stop(self, chain_db, baselines):
         """After the injector is removed, the same service serves cleanly."""
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE),
             max_width=2,
             workers=4,
@@ -147,7 +158,7 @@ class TestChaosStorm:
 
 class TestDrainUnderStorm:
     def test_drain_mid_storm_leaves_no_stragglers(self, chain_db, baselines):
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE),
             max_width=2,
             workers=4,
@@ -187,7 +198,7 @@ class TestServiceErrorPaths:
             started.set()
             release.wait(timeout=30)
 
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE),
             max_width=2,
             workers=1,
@@ -214,7 +225,7 @@ class TestServiceErrorPaths:
     ):
         from repro.errors import SqlSyntaxError
 
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=2
         )
         sql = storm_queries()[0]
@@ -234,7 +245,7 @@ class TestServiceErrorPaths:
     def test_analyze_racing_single_flight_build(self, chain_db, baselines):
         """Statistics refreshes racing concurrent plan builds never yield a
         stale or wrong plan — at worst an extra rebuild."""
-        svc = QueryService(
+        svc = make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE),
             max_width=2,
             workers=4,
@@ -259,7 +270,7 @@ class TestServiceErrorPaths:
             thread.join(timeout=10)
             svc.close()
         # The race settles: a fresh execute plans against current stats.
-        with QueryService(
+        with make_service(
             SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=1
         ) as fresh:
             result = fresh.execute(sql)

@@ -51,6 +51,29 @@ class TestOperatorEquivalence:
         joined = r.merge_join(s)
         assert len(joined) == 4
 
+    def test_merge_duplicate_runs_both_sides_multiple_keys(self):
+        """Equal-key runs on both inputs multiply without leaking across keys."""
+        r = Relation(
+            ["j", "x"],
+            [(1, "a"), (2, "c"), (1, "b"), (2, "d"), (2, "e"), (3, "f")],
+            name="r",
+        )
+        s = Relation(
+            ["j", "y"],
+            [(2, "q"), (1, "p"), (1, "q"), (2, "r"), (4, "z")],
+            name="s",
+        )
+        joined = r.merge_join(s)
+        # key 1: 2×2, key 2: 3×2, keys 3/4 unmatched.
+        assert len(joined) == 10
+        assert joined.same_content(r.natural_join(s))
+
+    def test_semijoin_no_shared_attributes(self):
+        """⋉ with disjoint schemas: all-or-nothing on the right's emptiness."""
+        left = Relation(["a", "b"], [(1, 2), (3, 4)], name="l")
+        assert left.semijoin(Relation(["z"], [(9,)])).tuples == left.tuples
+        assert left.semijoin(Relation(["z"], [])).tuples == []
+
     def test_work_categories(self):
         r = Relation(["j"], [(1,), (2,)])
         s = Relation(["j"], [(1,), (3,)])
