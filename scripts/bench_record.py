@@ -1,11 +1,20 @@
-"""Record the parallel-executor benchmark into ``BENCH_parallel.json``.
+"""Record a benchmark into its ``BENCH_*.json`` perf-trajectory artifact.
 
-Runs the chain and star workloads serial vs parallel (2 and 4 workers),
-verifies exact row/order parity, and writes one JSON document with wall
-clock (median of ``--repeats`` runs), deterministic work-unit totals, and
-the speedup — the perf-trajectory data point the ROADMAP asks for:
+Two benchmarks share this recorder (``--benchmark``):
 
-    python scripts/bench_record.py [--output BENCH_parallel.json]
+* ``parallel`` (default) — the chain and star workloads serial vs
+  parallel (2 and 4 workers), with exact row/order parity verified;
+  writes ``BENCH_parallel.json`` and gates on the 1.5× chain speedup:
+
+      python scripts/bench_record.py
+
+* ``serving`` — mixed multi-tenant traffic over a shard cluster vs one
+  single-process baseline (p50/p99 client latency, saturation, per-shard
+  plan-cache hit rates, byte-identical-answer parity); writes
+  ``BENCH_serving.json`` and gates on parity + per-shard hit rate ≥
+  baseline + a clean cross-shard drain:
+
+      python scripts/bench_record.py --benchmark serving --shards 4
 """
 
 from __future__ import annotations
@@ -93,19 +102,73 @@ def run(repeats: int) -> dict:
     return report
 
 
+def run_serving(args: argparse.Namespace) -> dict:
+    from repro.bench.serving import run_sharded_serving
+
+    report = run_sharded_serving(
+        scale=args.scale,
+        shards=args.shards,
+        workers=args.workers,
+        repetitions=args.repetitions,
+    )
+    report["python"] = platform.python_version()
+    report["machine"] = platform.machine()
+    return report
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel.json"),
-        help="where to write the JSON report",
+        "--benchmark",
+        choices=["parallel", "serving"],
+        default="parallel",
+        help="which benchmark to run and record",
     )
     parser.add_argument(
-        "--repeats", type=int, default=5, help="timed runs per configuration"
+        "--output",
+        default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_<benchmark>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per configuration (parallel)"
+    )
+    parser.add_argument(
+        "--scale", choices=["quick", "full"], default="quick", help="(serving)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="shard processes (serving)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="threads per shard (serving)"
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=0,
+        help="repetitions per tenant template, 0 = scale default (serving)",
     )
     args = parser.parse_args()
+    root = Path(__file__).resolve().parent.parent
+    output = Path(
+        args.output or root / f"BENCH_{args.benchmark}.json"
+    )
+
+    if args.benchmark == "serving":
+        report = run_serving(args)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        parity = report["parity"]["identical"]
+        hit_rate_ok = report["hit_rate_ok"]
+        drained = report["sharded"]["drained_clean"]
+        print(
+            f"\nparity={parity} per-shard-hit-rate>=baseline={hit_rate_ok} "
+            f"drain-clean={drained}"
+        )
+        return 0 if parity and hit_rate_ok and drained else 1
+
     report = run(args.repeats)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    output.write_text(json.dumps(report, indent=2) + "\n")
     chain = report["workloads"]["chain"]
     speedup = chain["parallel_4"]["speedup"]
     print(json.dumps(report, indent=2))

@@ -97,6 +97,7 @@ class LockDisciplineRule(Rule):
     )
     scopes = (
         "repro/service/",
+        "repro/shard/",
         "repro/obs/",
         "repro/resilience/",
         "repro/metering.py",

@@ -190,3 +190,207 @@ def run_serving_throughput(
             f"planning-work amortization: {cold.work / warm.work:.1f}×"
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Multi-process sharded serving
+# ---------------------------------------------------------------------------
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Exact q-th percentile (nearest-rank) of client-observed samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    import math
+
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def run_sharded_serving(
+    scale: str = "quick",
+    seed: int = 7,
+    shards: int = 4,
+    workers: int = 2,
+    repetitions: int = 0,
+    deadline_ms: "Optional[float]" = None,
+    inject: "Optional[str]" = None,
+) -> dict:
+    """Mixed multi-tenant traffic over a shard cluster vs one process.
+
+    Each template plays a *tenant*: the instantiated workload interleaves
+    every tenant's parameter-varied repetitions, so the router's
+    consistent-hash routing partitions live template traffic across
+    shards.  Two runs over identical queries:
+
+    * **baseline** — one warm :class:`QueryService` with the same total
+      worker-thread count (``shards × workers``);
+    * **sharded** — a :class:`~repro.shard.router.ShardRouter` over
+      ``shards`` worker processes, ``workers`` threads each.
+
+    The report carries the acceptance-criteria numbers: byte-identical
+    answers (rows *and* order, per query), client-observed p50/p99
+    latency, peak saturation, and per-shard plan-cache hit rates against
+    the single-process baseline.
+
+    Fault injection (``inject``) disables the parity check — faulting
+    runs produce explicit errors by design, not identical answers.
+    """
+    from repro.errors import ReproError
+    from repro.resilience.faults import FaultInjector
+    from repro.shard import ShardConfig, ShardRouter
+
+    repetitions = repetitions or (8 if scale == "quick" else 20)
+    database, templates = serving_workload(scale, seed)
+    queries = instantiate(templates, repetitions)
+    deadline_seconds = (
+        deadline_ms / 1000.0 if deadline_ms is not None else None
+    )
+
+    baseline_service = QueryService(
+        SimulatedDBMS(database, COMMDB_PROFILE),
+        max_width=3,
+        workers=shards * workers,
+        queue_capacity=max(32, shards * workers * 4),
+        cache_capacity=128,
+        deadline_seconds=deadline_seconds,
+        fault_injector=FaultInjector(inject, seed=seed) if inject else None,
+    )
+    try:
+        started = time.perf_counter()
+        baseline_outcomes = baseline_service.run_all(
+            queries, return_exceptions=True
+        )
+        baseline_elapsed = time.perf_counter() - started
+        baseline_snapshot = baseline_service.snapshot()
+    finally:
+        baseline_service.close()
+    # Per-query hit rate from the planning counters, the same definition
+    # shard_cache_hit_rates() uses (lookup-level stats double-count
+    # single-flight re-checks and so vary with thread scheduling).
+    baseline_planning = baseline_snapshot["planning"]
+    baseline_plans = (
+        baseline_planning["cache_hits"] + baseline_planning["built"]
+    )
+    baseline_hit_rate = (
+        round(baseline_planning["cache_hits"] / baseline_plans, 4)
+        if baseline_plans
+        else 0.0
+    )
+
+    config = ShardConfig(
+        database=database,
+        max_width=3,
+        workers=workers,
+        queue_capacity=max(32, workers * 4),
+        cache_capacity=128,
+        deadline_seconds=deadline_seconds,
+        fault_spec=inject,
+        seed=seed,
+    )
+    router = ShardRouter(config, shards=shards)
+    try:
+        started = time.perf_counter()
+        sharded_outcomes = router.run_all(queries, return_exceptions=True)
+        sharded_elapsed = time.perf_counter() - started
+        latencies = router.client_latencies()
+        saturation = router.saturation()
+        live_snapshot = router.snapshot()
+    finally:
+        drained_clean = router.drain(grace_seconds=30.0)
+
+    for outcomes in (baseline_outcomes, sharded_outcomes):
+        bugs = [
+            o
+            for o in outcomes
+            if isinstance(o, Exception) and not isinstance(o, ReproError)
+        ]
+        if bugs:
+            raise bugs[0]
+
+    identical = True
+    compared = 0
+    rows_total = 0
+    for base, shard in zip(baseline_outcomes, sharded_outcomes):
+        base_err = isinstance(base, Exception)
+        shard_err = isinstance(shard, Exception)
+        if base_err or shard_err:
+            if inject is None and deadline_ms is None:
+                identical = False  # a fault-free run must not error
+            continue
+        compared += 1
+        base_rel, shard_rel = base.relation, shard.relation
+        if (base_rel is None) != (shard_rel is None):
+            identical = False
+            continue
+        if base_rel is not None:
+            rows_total += len(shard_rel)
+            if (
+                base_rel.attributes != shard_rel.attributes
+                or base_rel.tuples != shard_rel.tuples
+            ):
+                identical = False
+
+    hit_rates = {
+        shard_id: rate
+        for shard_id, rate in live_snapshot["cache_hit_rates"].items()
+        if rate is not None
+    }
+    min_hit_rate = min(hit_rates.values()) if hit_rates else 0.0
+    merged = live_snapshot["merged"]
+    per_shard_view = live_snapshot["router"]["per_shard"]
+    errors = sum(1 for o in sharded_outcomes if isinstance(o, Exception))
+
+    return {
+        "benchmark": "sharded-serving",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "workers_per_shard": workers,
+        "tenants": len(templates),
+        "repetitions": repetitions,
+        "queries": len(queries),
+        "deadline_ms": deadline_ms,
+        "inject": inject,
+        "baseline": {
+            "workers": shards * workers,
+            "elapsed_seconds": round(baseline_elapsed, 4),
+            "throughput_qps": round(len(queries) / baseline_elapsed, 1),
+            "cache_hit_rate": baseline_hit_rate,
+            "plans_built": baseline_snapshot["planning"]["built"],
+            "cache_hits": baseline_snapshot["planning"]["cache_hits"],
+        },
+        "sharded": {
+            "elapsed_seconds": round(sharded_elapsed, 4),
+            "throughput_qps": round(len(queries) / sharded_elapsed, 1),
+            "latency_p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+            "latency_p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+            "latency_max_ms": round(max(latencies) * 1000, 3)
+            if latencies
+            else 0.0,
+            "saturation": round(saturation, 4),
+            "per_shard_cache_hit_rates": {
+                str(shard_id): rate
+                for shard_id, rate in sorted(
+                    live_snapshot["cache_hit_rates"].items()
+                )
+            },
+            "min_shard_cache_hit_rate": min_hit_rate,
+            "per_shard_dispatched": {
+                str(shard_id): view["dispatched"]
+                for shard_id, view in sorted(per_shard_view.items())
+            },
+            "plans_built_total": merged["planning"]["built"],
+            "cache_hits_total": merged["planning"]["cache_hits"],
+            "errors": errors,
+            "drained_clean": drained_clean,
+        },
+        "parity": {
+            "identical": identical,
+            "compared": compared,
+            "rows": rows_total,
+            "checked": inject is None,
+        },
+        "hit_rate_ok": not hit_rates or min_hit_rate >= baseline_hit_rate,
+    }

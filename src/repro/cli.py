@@ -219,6 +219,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries on stdin", file=sys.stderr)
         return 1
+    if args.shards >= 2:
+        return _serve_sharded(args, database, queries)
 
     injector = (
         FaultInjector(args.inject, seed=args.seed) if args.inject else None
@@ -311,9 +313,141 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> int:
+    """The ``serve --shards N`` path: one router, N worker processes.
+
+    Same contract as the single-process path — per-query result lines,
+    graceful SIGINT/SIGTERM drain (exit 130), observability flushed last
+    — but the metrics snapshot is the *merged* cluster view (plus
+    per-shard detail) and the exported trace is the merged, shard-tagged
+    cross-process timeline, validated before exit.
+    """
+    import json as json_module
+    import signal
+
+    from repro.obs.tracing import validate_span_records
+    from repro.service.metrics import render_snapshot
+    from repro.shard import ShardConfig, ShardRouter
+
+    config = ShardConfig(
+        database=database,
+        max_width=args.width,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+        work_budget=args.budget,
+        deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        fault_spec=args.inject,
+        seed=args.seed,
+        parallel_workers=args.parallel,
+        trace=bool(args.trace),
+    )
+    router = ShardRouter(config, shards=args.shards)
+    exit_code = 0
+
+    def _on_signal(signum, frame):  # pragma: no cover - exercised via tests
+        raise KeyboardInterrupt
+
+    old_handlers = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            old_handlers[sig] = signal.signal(sig, _on_signal)
+        except (ValueError, OSError):
+            pass  # not the main thread (tests) or unsupported platform
+    try:
+        print(f"{'#':>3} {'optimizer':<16} {'work':>12} {'rows':>8} {'wall(s)':>9}")
+        try:
+            outcomes = router.run_all(queries, return_exceptions=True)
+        except KeyboardInterrupt:
+            exit_code = 130
+            print(
+                f"\ninterrupted: draining {args.shards} shards "
+                f"(grace {args.grace:.1f}s)...",
+                file=sys.stderr,
+            )
+            outcomes = []
+        for index, result in enumerate(outcomes, 1):
+            if isinstance(result, Exception):
+                print(f"{index:>3} error: {result}")
+                exit_code = 2
+                continue
+            work = str(result.work) if result.finished else "DNF"
+            count = (
+                str(len(result.relation))
+                if result.relation is not None
+                else "-"
+            )
+            print(
+                f"{index:>3} {result.optimizer:<16} {work:>12} "
+                f"{count:>8} {result.elapsed_seconds:>9.3f}"
+            )
+            if not result.finished:
+                exit_code = 2
+    finally:
+        for sig, handler in old_handlers.items():
+            signal.signal(sig, handler)
+        # Drain every shard before flushing observability, so the merged
+        # trace and metrics cover every query that ran on any shard.
+        drained = router.drain(grace_seconds=args.grace)
+        if not drained and exit_code == 130:
+            print(
+                "warning: some shards did not drain within the grace "
+                "period",
+                file=sys.stderr,
+            )
+        if args.trace:
+            records = router.span_records()
+            with open(args.trace, "w") as handle:
+                for record in records:
+                    handle.write(json_module.dumps(record) + "\n")
+            problems = validate_span_records(
+                records,
+                dropped=router.spans_dropped(),
+                open_count=router.open_spans(),
+                require_shard_tag=True,
+            )
+            print()
+            print(
+                f"trace: {len(records)} spans from {args.shards} shards "
+                f"-> {args.trace}"
+            )
+            for problem in problems:
+                print(f"trace problem: {problem}", file=sys.stderr)
+                if exit_code == 0:
+                    exit_code = 2
+        violations = router.lock_violations()
+        for shard_id, violation in sorted(violations.items()):
+            print(
+                f"lock-order violation on shard {shard_id}: {violation}",
+                file=sys.stderr,
+            )
+            if exit_code == 0:
+                exit_code = 2
+        print()
+        snapshot = router.final_snapshot()
+        if args.metrics_format == "json":
+            print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+        elif args.metrics_format == "prom":
+            print(router.render_prometheus())
+        else:
+            print("merged cluster metrics:")
+            print(render_snapshot(snapshot["merged"], indent="  "))
+            print("per-shard cache hit rates:")
+            for shard_id, rate in sorted(
+                snapshot["cache_hit_rates"].items()
+            ):
+                shown = f"{rate:.2%}" if rate is not None else "-"
+                print(f"  shard {shard_id}: {shown}")
+    return exit_code
+
+
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.bench.serving import run_serving_throughput
 
+    if args.shards >= 2:
+        return _bench_serve_sharded(args)
     result = run_serving_throughput(
         scale=args.scale,
         workers=args.workers,
@@ -366,6 +500,74 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             f"execute={warm.phase_work['execute']}"
         )
     return 0
+
+
+def _bench_serve_sharded(args: argparse.Namespace) -> int:
+    """``bench-serve --shards N``: the multi-tenant cluster benchmark."""
+    import json as json_module
+
+    from repro.bench.serving import run_sharded_serving
+
+    report = run_sharded_serving(
+        scale=args.scale,
+        shards=args.shards,
+        workers=args.workers,
+        repetitions=args.repetitions,
+        deadline_ms=args.deadline_ms,
+        inject=args.inject,
+    )
+    base, shard = report["baseline"], report["sharded"]
+    print(
+        f"sharded serving: {report['queries']} queries "
+        f"({report['tenants']} tenants × {report['repetitions']} reps) "
+        f"over {report['shards']} shards × {report['workers_per_shard']} workers"
+    )
+    print(
+        f"throughput:  baseline={base['throughput_qps']} q/s  "
+        f"sharded={shard['throughput_qps']} q/s"
+    )
+    print(
+        f"latency:     p50={shard['latency_p50_ms']}ms  "
+        f"p99={shard['latency_p99_ms']}ms  "
+        f"max={shard['latency_max_ms']}ms  "
+        f"saturation={shard['saturation']:.2f}"
+    )
+    rates = ", ".join(
+        f"{shard_id}:{rate:.2%}" if rate is not None else f"{shard_id}:-"
+        for shard_id, rate in shard["per_shard_cache_hit_rates"].items()
+    )
+    print(
+        f"cache:       baseline={base['cache_hit_rate']:.2%}  "
+        f"per-shard [{rates}]"
+    )
+    parity = report["parity"]
+    if parity["checked"]:
+        print(
+            f"parity:      identical={parity['identical']} "
+            f"({parity['compared']} queries, {parity['rows']} rows)"
+        )
+    print(
+        f"hit-rate:    every shard ≥ baseline: {report['hit_rate_ok']}  "
+        f"drain clean: {shard['drained_clean']}"
+    )
+    if args.record:
+        # Same envelope scripts/bench_record.py --benchmark serving writes,
+        # so BENCH_serving.json is one format wherever it was produced.
+        import platform
+
+        report = dict(report)
+        report["python"] = platform.python_version()
+        report["machine"] = platform.machine()
+        with open(args.record, "w") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"recorded -> {args.record}")
+    ok = (
+        (report["parity"]["identical"] or not parity["checked"])
+        and report["hit_rate_ok"]
+        and shard["drained_clean"]
+    )
+    return 0 if ok else 1
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -551,6 +753,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="intra-query parallel q-HD evaluation on N workers per query "
         "(0/1 = serial; results are identical either way)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve from N worker processes routed by template fingerprint "
+        "(1 = the unchanged single-process path; answers are identical "
+        "either way)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -573,6 +784,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FAULTSPEC",
         default=None,
         help="deterministic fault injection: site:kind:rate[:param]",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="benchmark multi-tenant traffic over N shard processes "
+        "(reports p50/p99 latency, saturation, per-shard cache hit rates)",
+    )
+    p.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="with --shards: also write the report JSON "
+        "(BENCH_serving.json format) to FILE",
     )
     p.set_defaults(func=cmd_bench_serve)
     return parser

@@ -209,6 +209,30 @@ class ServiceClosed(ServiceError):
     """A query was submitted to a service that has been shut down."""
 
 
+class ShardError(ServiceError):
+    """A failure in the multi-process shard layer.
+
+    Raised by the router for cluster-level faults (a worker died, a reply
+    timed out) and used as the carrier for worker-side errors whose
+    concrete type could not be reconstructed across the process boundary.
+
+    Attributes:
+        original_type: the worker-side exception type name when this error
+            wraps one, else ``None``.
+        shard_id: the shard involved, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        original_type: "str | None" = None,
+        shard_id: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.original_type = original_type
+        self.shard_id = shard_id
+
+
 class LockOrderViolation(ReproError):
     """The dynamic lock-order witness observed a cyclic acquisition order.
 

@@ -48,7 +48,75 @@ __all__ = [
     "current_tracer",
     "set_tracer",
     "tracing",
+    "validate_span_records",
 ]
+
+
+def validate_span_records(
+    records: List[Dict[str, Any]],
+    *,
+    dropped: int = 0,
+    open_count: int = 0,
+    require_shard_tag: bool = False,
+) -> List[str]:
+    """Consistency problems in exported span records.
+
+    The record-level twin of :meth:`Tracer.validate`, usable where no
+    live tracer exists — most importantly on a **merged cross-process
+    trace**, where the spans of N shard workers have been re-identified
+    into one timeline and every record must carry a ``shard`` tag
+    (``require_shard_tag=True``) so a span can be attributed to the
+    process that produced it.
+
+    Args:
+        records: span records in :meth:`Span.to_record` shape.
+        dropped: spans lost to retention caps; when positive, unknown
+            parents are not reported (the parent may be a dropped span).
+        open_count: spans still open when the export was taken.
+        require_shard_tag: demand an integer ``shard`` tag on every span
+            (the merged-trace contract of
+            :func:`repro.shard.aggregate.merge_span_records`).
+
+    Returns:
+        Human-readable problem descriptions; empty when consistent.
+    """
+    problems: List[str] = []
+    if open_count != 0:
+        problems.append(
+            f"{open_count} span(s) still open (unmatched open/close)"
+        )
+    known = {record["span_id"] for record in records}
+    if len(known) != len(records):
+        problems.append(
+            f"{len(records) - len(known)} duplicate span id(s) "
+            f"(cross-process merge without re-identification?)"
+        )
+    for record in records:
+        span_id, name = record["span_id"], record.get("name")
+        if record.get("duration", 0) < 0:
+            problems.append(
+                f"span {span_id} ({name}) has negative "
+                f"duration {record['duration']}"
+            )
+        if record.get("work_units", 0) < 0:
+            problems.append(
+                f"span {span_id} ({name}) has negative "
+                f"work delta {record['work_units']}"
+            )
+        parent_id = record.get("parent_id")
+        if parent_id is not None and parent_id not in known and dropped == 0:
+            problems.append(
+                f"span {span_id} ({name}) references "
+                f"unknown parent {parent_id}"
+            )
+        if require_shard_tag:
+            shard = (record.get("tags") or {}).get("shard")
+            if not isinstance(shard, int) or isinstance(shard, bool):
+                problems.append(
+                    f"span {span_id} ({name}) lacks an integer "
+                    f"'shard' tag"
+                )
+    return problems
 
 
 class Span:
@@ -258,32 +326,19 @@ class Tracer:
 
     def validate(self) -> List[str]:
         """Consistency problems: negative durations, unmatched open/close,
-        or a parent reference to a span that was never recorded."""
-        problems: List[str] = []
+        or a parent reference to a span that was never recorded.
+
+        Delegates to :func:`validate_span_records`, the record-level
+        validator also applied to merged cross-process traces.
+        """
         with self._lock:
             spans = list(self._spans)
             open_count = self._open
-        if open_count != 0:
-            problems.append(f"{open_count} span(s) still open (unmatched open/close)")
-        known = {span.span_id for span in spans}
-        for span in spans:
-            if span.duration < 0:
-                problems.append(
-                    f"span {span.span_id} ({span.name}) has negative "
-                    f"duration {span.duration}"
-                )
-            if span.work_units < 0:
-                problems.append(
-                    f"span {span.span_id} ({span.name}) has negative "
-                    f"work delta {span.work_units}"
-                )
-            if span.parent_id is not None and span.parent_id not in known:
-                if self.dropped == 0:
-                    problems.append(
-                        f"span {span.span_id} ({span.name}) references "
-                        f"unknown parent {span.parent_id}"
-                    )
-        return problems
+        return validate_span_records(
+            [span.to_record() for span in spans],
+            dropped=self.dropped,
+            open_count=open_count,
+        )
 
     # -- export ----------------------------------------------------------
 

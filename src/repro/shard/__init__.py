@@ -1,0 +1,71 @@
+"""Multi-process sharded serving for the structural optimizer.
+
+``repro.shard`` scales the single-process :class:`QueryService` across N
+deterministic worker processes:
+
+* :mod:`repro.shard.hashring` — consistent hashing of canonical template
+  fingerprints to shards (template affinity: isomorphic queries share a
+  shard, so each shard's plan cache stays small and hot);
+* :mod:`repro.shard.messages` — the picklable wire protocol and the
+  typed-error codec across the process boundary;
+* :mod:`repro.shard.worker` — the worker process: one
+  :class:`~repro.service.server.QueryService` (own plan cache, metrics,
+  tracer, fault injector) behind a request/response queue pair;
+* :mod:`repro.shard.router` — :class:`ShardRouter`: spawn, route,
+  multiplex, watch liveness, drain gracefully;
+* :mod:`repro.shard.frontdoor` — :class:`AsyncFrontDoor`: an asyncio
+  submission front with per-shard backpressure;
+* :mod:`repro.shard.aggregate` — merging per-shard metric snapshots and
+  span records into one validated cluster view.
+"""
+
+from repro.shard.aggregate import (
+    SPAN_ID_STRIDE,
+    merge_metric_snapshots,
+    merge_registry_exports,
+    merge_span_records,
+    registry_export,
+    render_prometheus,
+    shard_cache_hit_rates,
+)
+from repro.shard.frontdoor import AsyncFrontDoor
+from repro.shard.hashring import ConsistentHashRing
+from repro.shard.messages import (
+    DrainCommand,
+    QueryAnswer,
+    QueryFailure,
+    QueryRequest,
+    SnapshotCommand,
+    SnapshotReply,
+    WorkerExit,
+    WorkerReady,
+    decode_error,
+    encode_error,
+)
+from repro.shard.router import ShardRouter
+from repro.shard.worker import ShardConfig, shard_worker_main
+
+__all__ = [
+    "SPAN_ID_STRIDE",
+    "AsyncFrontDoor",
+    "ConsistentHashRing",
+    "DrainCommand",
+    "QueryAnswer",
+    "QueryFailure",
+    "QueryRequest",
+    "ShardConfig",
+    "ShardRouter",
+    "SnapshotCommand",
+    "SnapshotReply",
+    "WorkerExit",
+    "WorkerReady",
+    "decode_error",
+    "encode_error",
+    "merge_metric_snapshots",
+    "merge_registry_exports",
+    "merge_span_records",
+    "registry_export",
+    "render_prometheus",
+    "shard_cache_hit_rates",
+    "shard_worker_main",
+]

@@ -1,0 +1,283 @@
+"""Cross-shard aggregation: one merged view of N per-process sinks.
+
+Each shard worker owns its own metrics registry, plan cache, and tracer —
+there is no shared memory, so "cluster observability" is a *merge*
+problem.  Both sink formats were designed mergeable (PR 2): metric
+snapshots are nested dicts of counters and fixed-bucket histograms
+(pointwise addition, with the derived fields — means, hit rates, min/max
+— recomputed, never summed), and span exports are plain records whose ids
+only need to be made process-unique.
+
+Span merging namespaces every shard's ids into a disjoint block of
+:data:`SPAN_ID_STRIDE` (shard *s* owns ``(s+1)*stride .. (s+2)*stride``),
+remaps ``parent_id`` with the same offset — parent/child edges never
+cross a process, so the remap keeps every edge intact and can never
+*create* a dangling parent — and stamps a ``shard`` tag on every record.
+The result passes
+:func:`repro.obs.tracing.validate_span_records` with
+``require_shard_tag=True``, the merged-trace contract the CLI enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: Span-id block size per shard; far above any tracer retention cap.
+SPAN_ID_STRIDE = 10_000_000
+
+
+# ---------------------------------------------------------------------------
+# Metric snapshots
+# ---------------------------------------------------------------------------
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _merge_level(dicts: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {}
+    seen: List[str] = []
+    for source in dicts:
+        for key in source:
+            if key not in seen:
+                seen.append(key)
+    for key in seen:
+        values = [d[key] for d in dicts if key in d]
+        if all(isinstance(v, Mapping) for v in values):
+            merged[key] = _merge_level(values)
+        elif all(_is_number(v) for v in values):
+            merged[key] = sum(values)
+        else:
+            merged[key] = values[0]  # non-numeric metadata: first wins
+
+    # Derived fields must be recomputed, not summed.
+    count = merged.get("count")
+    if _is_number(count) and _is_number(merged.get("total")):
+        merged["mean"] = (
+            round(merged["total"] / count, 6) if count else 0.0
+        )
+    if "min" in merged or "max" in merged:
+        # A summary with count == 0 snapshots min/max as 0.0 placeholders;
+        # only populated summaries participate in the extrema.
+        populated = [d for d in dicts if d.get("count", 1)]
+        minima = [d["min"] for d in populated if _is_number(d.get("min"))]
+        maxima = [d["max"] for d in populated if _is_number(d.get("max"))]
+        if "min" in merged:
+            merged["min"] = round(min(minima), 6) if minima else 0.0
+        if "max" in merged:
+            merged["max"] = round(max(maxima), 6) if maxima else 0.0
+    hits, misses = merged.get("hits"), merged.get("misses")
+    if _is_number(hits) and _is_number(misses) and "hit_rate" in merged:
+        lookups = hits + misses
+        merged["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+    for key in list(merged):
+        if isinstance(merged[key], float):
+            merged[key] = round(merged[key], 6)
+    return merged
+
+
+def merge_metric_snapshots(
+    snapshots: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """One cluster-wide snapshot from per-shard service snapshots.
+
+    Counters (and histogram buckets) add; ``mean`` is recomputed from the
+    merged ``total``/``count``; ``min``/``max`` take the extrema over
+    shards that actually observed something; cache ``hit_rate`` is
+    recomputed from the merged hit/miss counts.  Capacities (pool workers,
+    queue and cache capacity) add too — the merged view describes the
+    cluster, not an average shard.
+    """
+    present = [s for s in snapshots if s]
+    if not present:
+        return {}
+    return _merge_level(present)
+
+
+# ---------------------------------------------------------------------------
+# Span records
+# ---------------------------------------------------------------------------
+
+
+def merge_span_records(
+    per_shard: Mapping[int, Sequence[Mapping[str, Any]]],
+    stride: int = SPAN_ID_STRIDE,
+) -> List[Dict[str, Any]]:
+    """Merge per-shard span records into one process-unique timeline.
+
+    Args:
+        per_shard: shard id → that worker's exported span records
+            (:meth:`repro.obs.tracing.Tracer.to_records` shape).
+        stride: id block size per shard; every shard's ids must fit in it.
+
+    Returns:
+        New records (inputs are not mutated) with namespaced
+        ``span_id``/``parent_id`` and a ``shard`` tag on every span,
+        ordered by shard then original completion order.  Span ``start``
+        offsets remain relative to each shard's own tracer epoch —
+        monotonic clocks do not compare across processes, so no fake
+        global timeline is invented.
+    """
+    merged: List[Dict[str, Any]] = []
+    for shard_id in sorted(per_shard):
+        offset = (shard_id + 1) * stride
+        for record in per_shard[shard_id]:
+            span_id = record["span_id"]
+            if not 0 <= span_id < stride:
+                raise ValueError(
+                    f"shard {shard_id} span id {span_id} does not fit the "
+                    f"merge stride {stride}"
+                )
+            remapped = dict(record)
+            remapped["span_id"] = offset + span_id
+            parent_id = record.get("parent_id")
+            remapped["parent_id"] = (
+                offset + parent_id if parent_id is not None else None
+            )
+            tags = dict(record.get("tags") or {})
+            tags["shard"] = shard_id
+            remapped["tags"] = tags
+            merged.append(remapped)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Prometheus registries
+# ---------------------------------------------------------------------------
+
+
+def registry_export(registry: Any) -> Dict[str, Dict[str, Any]]:
+    """A picklable, kind-tagged export of a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    ``{name: {"kind", "help", "value"}}`` — the shape
+    :func:`merge_registry_exports` consumes.  Workers ship this across
+    the process boundary so the router can expose one cluster-wide
+    Prometheus view.
+    """
+    export: Dict[str, Dict[str, Any]] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if instrument is None:
+            continue
+        export[name] = {
+            "kind": instrument.kind,
+            "help": instrument.help,
+            "value": instrument.snapshot(),
+        }
+    return export
+
+
+def merge_registry_exports(
+    exports: Sequence[Mapping[str, Mapping[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """One merged registry export from N per-shard exports.
+
+    Counters and gauges sum; histograms sum counts/totals/buckets and
+    take min/max extrema (a histogram with ``count == 0`` exports its
+    min/max as 0.0 placeholders, which are excluded).  Kind mismatches
+    across shards raise — shards run identical code, so a mismatch is a
+    protocol bug, not data.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for export in exports:
+        for name, entry in export.items():
+            if name not in merged:
+                merged[name] = {
+                    "kind": entry["kind"],
+                    "help": entry.get("help", ""),
+                    "value": _copy_value(entry["value"]),
+                }
+                continue
+            target = merged[name]
+            if target["kind"] != entry["kind"]:
+                raise ValueError(
+                    f"metric {name!r} is a {target['kind']} on one shard "
+                    f"and a {entry['kind']} on another"
+                )
+            value = entry["value"]
+            if isinstance(value, Mapping):  # histogram
+                target["value"] = _merge_histogram(target["value"], value)
+            else:
+                target["value"] = target["value"] + value
+    return merged
+
+
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        copied = dict(value)
+        copied["buckets"] = dict(value.get("buckets") or {})
+        return copied
+    return value
+
+
+def _merge_histogram(
+    left: Mapping[str, Any], right: Mapping[str, Any]
+) -> Dict[str, Any]:
+    count = left["count"] + right["count"]
+    total = round(left["total"] + right["total"], 6)
+    populated = [h for h in (left, right) if h["count"]]
+    buckets = dict(left.get("buckets") or {})
+    for label, n in (right.get("buckets") or {}).items():
+        buckets[label] = buckets.get(label, 0) + n
+    return {
+        "count": count,
+        "total": total,
+        "mean": round(total / count, 6) if count else 0.0,
+        "min": round(min(h["min"] for h in populated), 6) if populated else 0.0,
+        "max": round(max(h["max"] for h in populated), 6) if populated else 0.0,
+        "buckets": buckets,
+    }
+
+
+def render_prometheus(export: Mapping[str, Mapping[str, Any]]) -> str:
+    """Prometheus-flavoured exposition of a (merged) registry export.
+
+    Mirrors :meth:`repro.obs.metrics.MetricsRegistry.render_text`, so the
+    cluster view scrapes exactly like a single process's.
+    """
+    lines: List[str] = []
+    for name in sorted(export):
+        entry = export[name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        value = entry["value"]
+        if isinstance(value, Mapping):  # histogram
+            for boundary, count in (value.get("buckets") or {}).items():
+                le = boundary[len("le_"):]
+                lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {value["count"]}')
+            lines.append(f"{name}_sum {value['total']}")
+            lines.append(f"{name}_count {value['count']}")
+        else:
+            lines.append(f"{name} {value}")
+    return "\n".join(lines)
+
+
+def merged_spans_dropped(exits: Mapping[int, Any]) -> int:
+    """Total spans lost to per-shard retention caps (for validation)."""
+    return sum(getattr(exit_, "spans_dropped", 0) for exit_ in exits.values())
+
+
+def shard_cache_hit_rates(
+    shard_snapshots: Mapping[int, Mapping[str, Any]],
+) -> Dict[int, Optional[float]]:
+    """Per-shard plan-cache hit rate per *query* (None for idle shards).
+
+    Computed from the planning counters — ``cache_hits / (cache_hits +
+    built)`` — not the cache's raw lookup stats: single-flight builds
+    re-check the cache under the build lock, so lookup-level misses
+    double-count every build (plus one more per thread that lost the
+    race), which would make the rate depend on scheduling.  The planning
+    counters count each served query exactly once.
+    """
+    rates: Dict[int, Optional[float]] = {}
+    for shard_id, snapshot in shard_snapshots.items():
+        planning = snapshot.get("planning") or {}
+        hits = planning.get("cache_hits", 0)
+        built = planning.get("built", 0)
+        plans = hits + built
+        rates[shard_id] = round(hits / plans, 4) if plans else None
+    return rates

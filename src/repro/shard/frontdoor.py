@@ -1,0 +1,309 @@
+"""``AsyncFrontDoor``: an asyncio multiplexer over the shard router.
+
+The router's :meth:`~repro.shard.router.ShardRouter.submit` is a
+*blocking* entry point (it waits for per-shard room on a condition
+variable), which is the wrong shape for an event-loop server.  The front
+door gives the cluster an async face with explicit, per-shard
+backpressure:
+
+* every submission is routed first, then enqueued on its **own shard's**
+  bounded :class:`asyncio.Queue` — a hot shard exerts backpressure on
+  its own callers (``await`` in :meth:`submit`, immediate
+  :class:`~repro.errors.ServiceOverloaded` in :meth:`submit_nowait`)
+  without stalling traffic for cold shards;
+* one dispatcher task per shard forwards submissions to the router,
+  holding a per-shard semaphore sized to the router's own in-flight
+  bound — so the blocking ``router.submit`` never actually blocks and
+  the event loop stays responsive;
+* **deadlines keep ticking in the queue**: the wall-clock budget is
+  decremented by the time spent waiting for a dispatcher, and a
+  submission that expires before dispatch fails with
+  :class:`~repro.errors.DeadlineExceeded` at site ``shard.frontdoor``
+  instead of wasting a worker on an already-dead query;
+* completions are relayed from the router's collector thread back onto
+  the event loop with ``call_soon_threadsafe`` — no thread ever touches
+  an asyncio future directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import (
+    DeadlineExceeded,
+    QueryCancelled,
+    ReproError,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.shard.router import ShardRouter
+
+#: Sentinel closing a dispatcher loop.
+_CLOSE = object()
+
+
+@dataclass
+class _Submission:
+    sql: str
+    work_budget: Optional[int]
+    deadline_seconds: Optional[float]
+    enqueued_at: float
+    future: "asyncio.Future" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class AsyncFrontDoor:
+    """Async submission front for a :class:`ShardRouter`.
+
+    Use as an async context manager (the dispatcher tasks live on the
+    running loop)::
+
+        router = ShardRouter(config, shards=4)
+        async with AsyncFrontDoor(router) as door:
+            result = await door.submit("SELECT ...")
+
+    Args:
+        router: the (already started) shard router.
+        queue_depth: per-shard submission queue bound; a full queue makes
+            :meth:`submit` await and :meth:`submit_nowait` reject.
+
+    The front door multiplexes; it does not own the router — draining the
+    cluster remains the router's job (and should happen *after*
+    ``__aexit__``, so queued submissions resolve first).
+    """
+
+    def __init__(self, router: ShardRouter, *, queue_depth: int = 64):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.router = router
+        self.queue_depth = queue_depth
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queues: List["asyncio.Queue"] = []
+        self._semaphores: List[asyncio.Semaphore] = []
+        self._dispatchers: List["asyncio.Task"] = []
+        self._enqueued = [0] * router.shards
+        self._expired_in_queue = 0
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncFrontDoor":
+        self._loop = asyncio.get_running_loop()
+        for shard_id in range(self.router.shards):
+            self._queues.append(asyncio.Queue(maxsize=self.queue_depth))
+            self._semaphores.append(
+                asyncio.Semaphore(self.router.max_inflight_per_shard)
+            )
+            self._dispatchers.append(
+                self._loop.create_task(
+                    self._dispatch(shard_id),
+                    name=f"hdqo-frontdoor-{shard_id}",
+                )
+            )
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _make_submission(
+        self,
+        sql: str,
+        work_budget: Optional[int],
+        deadline_seconds: Optional[float],
+    ) -> "tuple[int, _Submission]":
+        if self._loop is None:
+            raise RuntimeError(
+                "AsyncFrontDoor must be entered (async with) before use"
+            )
+        if self._closed:
+            raise ServiceClosed("front door is closed")
+        shard_id = self.router.route(sql)
+        submission = _Submission(
+            sql=sql,
+            work_budget=work_budget,
+            deadline_seconds=deadline_seconds,
+            enqueued_at=self._loop.time(),
+        )
+        submission.future = self._loop.create_future()
+        return shard_id, submission
+
+    async def submit(
+        self,
+        sql: str,
+        work_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Any:
+        """Route, enqueue (awaiting room — backpressure), and resolve.
+
+        Returns the shard's :class:`~repro.engine.dbms.DBMSResult`;
+        raises the worker-side typed error otherwise.
+        """
+        shard_id, submission = self._make_submission(
+            sql, work_budget, deadline_seconds
+        )
+        await self._queues[shard_id].put(submission)
+        self._enqueued[shard_id] += 1
+        return await submission.future
+
+    async def submit_nowait(
+        self,
+        sql: str,
+        work_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Any:
+        """Like :meth:`submit`, but reject instead of waiting for room.
+
+        Raises:
+            ServiceOverloaded: the target shard's submission queue is
+                full — the async analogue of the service's bounded-queue
+                admission control.
+        """
+        shard_id, submission = self._make_submission(
+            sql, work_budget, deadline_seconds
+        )
+        try:
+            self._queues[shard_id].put_nowait(submission)
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                queued=self._queues[shard_id].qsize(),
+                capacity=self.queue_depth,
+            ) from None
+        self._enqueued[shard_id] += 1
+        return await submission.future
+
+    async def run_all(
+        self,
+        queries: Sequence[str],
+        work_budget: Optional[int] = None,
+        return_exceptions: bool = False,
+        deadline_seconds: Optional[float] = None,
+    ) -> "List[Union[Any, Exception]]":
+        """Submit a batch concurrently; results in submission order.
+
+        Same contract as :meth:`QueryService.run_all`: with
+        ``return_exceptions``, typed library errors come back in place
+        of results; :class:`~repro.errors.QueryCancelled` and
+        non-library exceptions always propagate.
+        """
+        outcomes = await asyncio.gather(
+            *(
+                self.submit(
+                    sql,
+                    work_budget=work_budget,
+                    deadline_seconds=deadline_seconds,
+                )
+                for sql in queries
+            ),
+            return_exceptions=True,
+        )
+        results: "List[Union[Any, Exception]]" = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                if (
+                    isinstance(outcome, ReproError)
+                    and not isinstance(outcome, QueryCancelled)
+                    and return_exceptions
+                ):
+                    results.append(outcome)
+                    continue
+                raise outcome
+            results.append(outcome)
+        return results
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, shard_id: int) -> None:
+        queue = self._queues[shard_id]
+        semaphore = self._semaphores[shard_id]
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            await semaphore.acquire()
+            if item.future.done():  # caller gave up while queued
+                semaphore.release()
+                continue
+            remaining = item.deadline_seconds
+            if remaining is not None:
+                waited = self._loop.time() - item.enqueued_at
+                remaining = item.deadline_seconds - waited
+                if remaining <= 0:
+                    semaphore.release()
+                    self._expired_in_queue += 1
+                    item.future.set_exception(
+                        DeadlineExceeded(
+                            item.deadline_seconds,
+                            waited,
+                            site="shard.frontdoor",
+                        )
+                    )
+                    continue
+            try:
+                shard_future = self.router.submit(
+                    item.sql,
+                    work_budget=item.work_budget,
+                    deadline_seconds=remaining,
+                )
+            except ReproError as exc:
+                semaphore.release()
+                item.future.set_exception(exc)
+                continue
+            shard_future.add_done_callback(
+                lambda fut, item=item, semaphore=semaphore: (
+                    self._relay(fut, item, semaphore)
+                )
+            )
+
+    def _relay(self, shard_future, item: _Submission, semaphore) -> None:
+        """Runs on the router's collector thread: hop back onto the loop."""
+        try:
+            self._loop.call_soon_threadsafe(
+                self._finish, shard_future, item, semaphore
+            )
+        except RuntimeError:
+            pass  # loop already closed; the run is over
+
+    def _finish(self, shard_future, item: _Submission, semaphore) -> None:
+        semaphore.release()
+        if item.future.done():
+            return
+        error = shard_future.exception()
+        if error is not None:
+            item.future.set_exception(error)
+        else:
+            item.future.set_result(shard_future.result())
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop the dispatchers after everything already queued resolves."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._queues:
+            await queue.put(_CLOSE)
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Front-door view: per-shard queue depth and enqueue counts."""
+        return {
+            "queue_depth": self.queue_depth,
+            "expired_in_queue": self._expired_in_queue,
+            "per_shard": {
+                shard_id: {
+                    "queued": self._queues[shard_id].qsize()
+                    if shard_id < len(self._queues)
+                    else 0,
+                    "enqueued": self._enqueued[shard_id],
+                }
+                for shard_id in range(self.router.shards)
+            },
+        }

@@ -1,0 +1,82 @@
+"""Deterministic consistent hashing of template fingerprints to shards.
+
+The router's core invariant is **template affinity**: two isomorphic
+queries (same canonical fingerprint — see
+:mod:`repro.service.fingerprint`) must land on the same shard, so each
+shard's plan cache only ever sees its own slice of the template universe
+and stays small and hot.  A consistent-hash ring gives that affinity a
+second property the modulo hash lacks: when the shard count changes, only
+``~1/N`` of the templates move, so a resized cluster keeps most of its
+cache warmth.
+
+Determinism matters doubly here: Python's builtin ``hash`` is salted per
+process (``PYTHONHASHSEED``), so the ring hashes with SHA-256 — the same
+fingerprint routes to the same shard in every process, on every run, on
+every platform.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+
+def _ring_hash(data: str) -> int:
+    """A 64-bit point on the ring (SHA-256 prefix; process-independent)."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """A fixed ring of virtual nodes mapping string keys to shard ids.
+
+    Args:
+        shards: number of shards (``0 .. shards-1``).
+        replicas: virtual nodes per shard; more replicas smooth the key
+            distribution (128 keeps the worst shard within a few percent
+            of uniform for realistic template counts).
+
+    The ring is immutable after construction — the router's shard count is
+    fixed for the lifetime of the cluster — which keeps lookups lock-free.
+    """
+
+    def __init__(self, shards: int, replicas: int = 128):
+        if shards < 1:
+            raise ValueError("the ring needs at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((_ring_hash(f"shard{shard}#v{replica}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point clockwise of it)."""
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: "List[str]") -> Dict[int, int]:
+        """How many of ``keys`` each shard owns (diagnostics, tests)."""
+        counts: Dict[int, int] = {shard: 0 for shard in range(self.shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentHashRing(shards={self.shards}, "
+            f"replicas={self.replicas})"
+        )

@@ -1,0 +1,247 @@
+"""The sharding wire protocol: picklable messages and the error codec.
+
+Everything that crosses the process boundary between the
+:class:`~repro.shard.router.ShardRouter` and its workers is one of the
+small dataclasses here — no live objects (services, relations, futures)
+ever cross, only plain data.  Two conversions make the boundary
+transparent to callers:
+
+* **results** travel as :class:`QueryAnswer` (attribute names + tuples +
+  the deterministic counters) and are rebuilt into a real
+  :class:`~repro.engine.dbms.DBMSResult` on the router side, so a sharded
+  answer is byte-identical — rows *and* order — to a single-process one;
+* **errors** travel as :class:`QueryFailure` through
+  :func:`encode_error`/:func:`decode_error`, which reconstruct the typed
+  :class:`~repro.errors.ReproError` subclasses (their constructors take
+  structured arguments, so naive exception pickling would break).  An
+  error type the codec does not know degrades to :class:`ShardError`
+  carrying the original type name — still explicit, still typed.
+
+Deadlines do not pickle as absolute times: monotonic clocks are
+per-process, so a deadline crosses the boundary as *remaining seconds*
+(:attr:`QueryRequest.deadline_seconds`), re-anchored by the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import errors as errors_module
+from repro.errors import ReproError, ShardError
+
+
+# ---------------------------------------------------------------------------
+# Requests (router -> worker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryRequest:
+    """One query dispatched to a shard.
+
+    Attributes:
+        request_id: router-unique id the response echoes back.
+        sql: the SQL text to execute.
+        work_budget: per-query work-unit budget (None = service default).
+        deadline_seconds: *remaining* wall-clock budget at dispatch time;
+            the worker re-anchors it on its own monotonic clock (this is
+            how deadlines propagate across the process boundary — queue
+            wait on the router side has already been subtracted).
+    """
+
+    request_id: int
+    sql: str
+    work_budget: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+
+
+@dataclass
+class SnapshotCommand:
+    """Ask a shard for its current metrics/cache snapshot."""
+
+    request_id: int
+
+
+@dataclass
+class DrainCommand:
+    """Graceful shutdown: drain the shard's service and exit.
+
+    The worker stops admitting, cancels queued queries, lets in-flight
+    queries abort at their next cooperative checkpoint, flushes a
+    response for every outstanding request, and replies with
+    :class:`WorkerExit` before its process ends.
+    """
+
+    grace_seconds: Optional[float] = None
+
+
+# ---------------------------------------------------------------------------
+# Responses (worker -> router)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerReady:
+    """Sent once by each worker after its service is built and serving."""
+
+    shard_id: int
+    pid: int
+
+
+@dataclass
+class QueryAnswer:
+    """A finished (or DNF) query result in plain-data form."""
+
+    request_id: int
+    shard_id: int
+    attributes: Tuple[str, ...]
+    tuples: List[Tuple[object, ...]]
+    work: int
+    simulated_seconds: float
+    elapsed_seconds: float
+    finished: bool
+    used_statistics: bool
+    optimizer: str
+    work_breakdown: Dict[str, int] = field(default_factory=dict)
+
+    def to_result(self) -> "Any":
+        """Rebuild the :class:`~repro.engine.dbms.DBMSResult` callers expect."""
+        from repro.engine.dbms import DBMSResult
+        from repro.relational.relation import Relation
+
+        relation = (
+            Relation(self.attributes, self.tuples)
+            if self.finished
+            else None
+        )
+        return DBMSResult(
+            relation=relation,
+            answer=relation,
+            work=self.work,
+            simulated_seconds=self.simulated_seconds,
+            elapsed_seconds=self.elapsed_seconds,
+            plan_text=f"(executed on shard {self.shard_id})",
+            finished=self.finished,
+            used_statistics=self.used_statistics,
+            optimizer=self.optimizer,
+            work_breakdown=dict(self.work_breakdown),
+        )
+
+
+@dataclass
+class QueryFailure:
+    """A typed error outcome, encoded for reconstruction on the router."""
+
+    request_id: int
+    shard_id: int
+    error_type: str
+    message: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_error(self) -> ReproError:
+        return decode_error(self.error_type, self.message, self.details)
+
+
+@dataclass
+class SnapshotReply:
+    """A shard's metrics snapshot (see :meth:`QueryService.snapshot`).
+
+    Attributes:
+        registry: the shard's kind-tagged Prometheus registry export
+            (:func:`repro.shard.aggregate.registry_export`), merged by
+            the router into one cluster exposition.
+    """
+
+    request_id: int
+    shard_id: int
+    snapshot: Dict[str, object]
+    registry: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerExit:
+    """The worker's last message: final state for cross-shard aggregation.
+
+    Attributes:
+        shard_id: which shard exited.
+        drained: every worker thread finished within the grace period.
+        snapshot: final metrics/cache snapshot.
+        registry: the shard's kind-tagged Prometheus registry export
+            (:func:`repro.shard.aggregate.registry_export`).
+        span_records: the shard tracer's exported span records (empty when
+            tracing was off).
+        spans_dropped: spans lost to the tracer's retention cap.
+        open_spans: spans still open at exit (0 on a clean drain).
+        lock_violation: a witnessed lock-order cycle rendered as text, or
+            None — workers run their own
+            :class:`~repro.analysis.lockwitness.LockWitness` under
+            ``HDQO_LOCKCHECK=1`` and report rather than die.
+    """
+
+    shard_id: int
+    drained: bool
+    snapshot: Dict[str, object]
+    registry: Dict[str, object] = field(default_factory=dict)
+    span_records: List[Dict[str, object]] = field(default_factory=list)
+    spans_dropped: int = 0
+    open_spans: int = 0
+    lock_violation: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Error codec
+# ---------------------------------------------------------------------------
+
+#: Attributes worth carrying across the boundary, per error type.  The
+#: decoder passes them straight back to the constructor, so each tuple
+#: must match the constructor's signature (checked by tests).
+_ERROR_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "WorkBudgetExceeded": ("budget", "spent", "phase"),
+    "DeadlineExceeded": ("deadline_seconds", "elapsed_seconds", "site"),
+    "QueryCancelled": ("reason", "site"),
+    "MemoryBudgetExceeded": (
+        "site", "rows", "row_width", "cells", "budget_cells", "max_rows"
+    ),
+    "InjectedFault": ("site",),
+    "ServiceOverloaded": ("queued", "capacity"),
+    "SqlSyntaxError": ("args0", "position"),
+    "DecompositionNotFound": ("args0", "width"),
+}
+
+#: Error types whose constructor takes just a message string.
+_MESSAGE_ONLY = frozenset({
+    "ReproError", "HypergraphError", "QueryError", "SchemaError",
+    "ExecutionError", "DecompositionError", "OptimizationError",
+    "ServiceError", "ServiceClosed", "ShardError",
+})
+
+
+def encode_error(exc: BaseException) -> Tuple[str, str, Dict[str, object]]:
+    """``(type_name, message, details)`` for a :class:`QueryFailure`."""
+    name = type(exc).__name__
+    details: Dict[str, object] = {}
+    for attr in _ERROR_FIELDS.get(name, ()):
+        if attr == "args0":
+            details[attr] = str(exc.args[0]) if exc.args else str(exc)
+        else:
+            details[attr] = getattr(exc, attr, None)
+    return name, str(exc), details
+
+
+def decode_error(
+    error_type: str, message: str, details: Dict[str, object]
+) -> ReproError:
+    """Rebuild the typed error; unknown types become :class:`ShardError`."""
+    cls = getattr(errors_module, error_type, None)
+    if cls is not None and isinstance(cls, type) and issubclass(cls, ReproError):
+        fields = _ERROR_FIELDS.get(error_type)
+        try:
+            if fields is not None:
+                args = [details.get(attr) for attr in fields]
+                return cls(*args)
+            if error_type in _MESSAGE_ONLY:
+                return cls(message)
+        except TypeError:
+            pass  # constructor drifted; fall through to the generic carrier
+    return ShardError(message, original_type=error_type)

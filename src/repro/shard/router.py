@@ -1,0 +1,707 @@
+"""``ShardRouter``: N deterministic worker processes behind one front.
+
+The router owns the cluster: it spawns one
+:func:`~repro.shard.worker.shard_worker_main` process per shard (spawn
+context — a fresh interpreter each, no forked locks), routes every query
+by **consistent-hashing its canonical template fingerprint** so
+isomorphic queries always land on the same shard (each shard's plan
+cache sees only its own slice of the template universe), and multiplexes
+responses back to per-request futures through a single collector thread.
+
+Design points that keep the boundary honest:
+
+* **routing is semantic, not textual** — the routing key is the
+  parameter-insensitive canonical fingerprint
+  (:func:`repro.service.fingerprint.fingerprint_translation`), so
+  ``r_name = 'ASIA'`` and ``r_name = 'EUROPE'`` share a shard (and a
+  plan-cache entry).  A small constant-masking LRU in front makes the
+  repeat-template hot path a dict lookup instead of a parse;
+* **backpressure is bounded per shard** — at most
+  ``workers + queue_capacity`` requests are in flight per shard (exactly
+  the worker-side admission bound, so a routed request is never bounced
+  by the shard's own admission control); further submissions block,
+  mirroring :meth:`QueryService.run_all`'s blocking admission;
+* **failures are explicit** — worker-side errors come back as typed
+  :class:`~repro.errors.ReproError`\\ s via the message codec, and a
+  worker that *dies* fails its in-flight futures with
+  :class:`~repro.errors.ShardError` from the collector's liveness
+  watchdog: every submitted query resolves, correct-or-explicit-error;
+* **shutdown is coordinated** — :meth:`drain` broadcasts a
+  :class:`~repro.shard.messages.DrainCommand`, workers drain their
+  services (cancelling queued queries, aborting in-flight ones at
+  cooperative checkpoints) and ship back final snapshots + span records,
+  stragglers past the grace period are killed hard, and every still
+  dangling future is failed explicitly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import re
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from threading import Event, Thread
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.lockwitness import make_lock
+from repro.engine.dbms import DBMSResult
+from repro.errors import (
+    QueryCancelled,
+    ReproError,
+    ServiceClosed,
+    ShardError,
+)
+from repro.query.parser import parse_sql
+from repro.query.translate import sql_to_conjunctive
+from repro.service.fingerprint import fingerprint_translation
+from repro.shard.aggregate import (
+    merge_metric_snapshots,
+    merge_registry_exports,
+    merge_span_records,
+    render_prometheus,
+    shard_cache_hit_rates,
+)
+from repro.shard.hashring import ConsistentHashRing
+from repro.shard.messages import (
+    DrainCommand,
+    QueryAnswer,
+    QueryFailure,
+    QueryRequest,
+    SnapshotCommand,
+    SnapshotReply,
+    WorkerExit,
+    WorkerReady,
+)
+from repro.shard.worker import ShardConfig, shard_worker_main
+
+#: Matches SQL constants (quoted strings, numbers) for the routing LRU key.
+_CONSTANT_RE = re.compile(r"'(?:[^']|'')*'|\b\d+(?:\.\d+)?\b")
+
+#: Routing-LRU capacity: distinct masked query texts remembered.
+_ROUTE_CACHE_CAPACITY = 4096
+
+#: Collector poll interval; also the liveness-watchdog tick.
+_POLL_SECONDS = 0.2
+
+#: Extra seconds past the drain grace before stragglers are killed hard.
+_DRAIN_MARGIN = 15.0
+
+
+class _ShardHandle:
+    """Router-side state of one worker process."""
+
+    def __init__(self, shard_id: int, process, request_queue) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.request_queue = request_queue
+        self.ready = Event()
+        self.exited = Event()
+        self.exit: Optional[WorkerExit] = None
+        self.pid: Optional[int] = None
+        self.dead = False  # watchdog verdict, not merely "exited"
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.dispatched = 0
+
+
+class ShardRouter:
+    """Multi-process sharded serving with template-affine routing.
+
+    Args:
+        config: the per-shard serving configuration (database, width
+            bound, pool sizes, budgets, fault spec, tracing).  Every
+            shard gets the same config; per-shard variation (the fault
+            injector seed) derives from the shard id.
+        shards: worker process count (``>= 1``).
+        replicas: virtual nodes per shard on the hash ring.
+        max_inflight_per_shard: in-flight bound per shard before
+            :meth:`submit` blocks; defaults to the shard's own admission
+            bound ``workers + queue_capacity``.
+        start_timeout: seconds to wait for every worker's ready message.
+    """
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        shards: int,
+        *,
+        replicas: int = 128,
+        max_inflight_per_shard: Optional[int] = None,
+        start_timeout: float = 120.0,
+    ):
+        if shards < 1:
+            raise ValueError("a shard cluster needs at least one shard")
+        self.config = config
+        self.shards = shards
+        self.ring = ConsistentHashRing(shards, replicas=replicas)
+        self.max_inflight_per_shard = (
+            max_inflight_per_shard
+            if max_inflight_per_shard is not None
+            else config.workers + config.queue_capacity
+        )
+        self._schema = config.database.schema.as_mapping()
+
+        # All mutable router state below is guarded by one lock; the
+        # condition lets blocked submitters wait for per-shard room.
+        self._lock = make_lock("ShardRouter._state")
+        self._room = threading.Condition(self._lock)
+        self._pending: Dict[int, "tuple[Future, int, float]"] = {}
+        self._snapshot_waiters: Dict[int, Future] = {}
+        self._next_request_id = 0
+        self._routes: "OrderedDict[str, int]" = OrderedDict()
+        self._route_hits = 0
+        self._route_misses = 0
+        self._latencies: List[float] = []
+        self._registry_exports: Dict[int, Dict[str, Any]] = {}
+        self._closed = False
+        self._drained: Optional[bool] = None
+
+        ctx = multiprocessing.get_context("spawn")
+        self._response_queue = ctx.Queue()
+        self._handles: List[_ShardHandle] = []
+        for shard_id in range(shards):
+            request_queue = ctx.Queue()
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(shard_id, config, request_queue, self._response_queue),
+                name=f"hdqo-shard-{shard_id}",
+                daemon=True,
+            )
+            self._handles.append(
+                _ShardHandle(shard_id, process, request_queue)
+            )
+
+        self._stop_collector = Event()
+        self._collector = Thread(
+            target=self._collect, name="hdqo-shard-collector", daemon=True
+        )
+
+        for handle in self._handles:
+            handle.process.start()
+        self._collector.start()
+        self._await_ready(start_timeout)
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def _await_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for handle in self._handles:
+            while not handle.ready.wait(timeout=_POLL_SECONDS):
+                if not handle.process.is_alive():
+                    self._abort_start()
+                    raise ShardError(
+                        f"shard {handle.shard_id} worker died during "
+                        f"startup (exit code "
+                        f"{handle.process.exitcode})",
+                        shard_id=handle.shard_id,
+                    )
+                if time.monotonic() > deadline:
+                    self._abort_start()
+                    raise ShardError(
+                        f"shard {handle.shard_id} worker did not become "
+                        f"ready within {timeout:.0f}s",
+                        shard_id=handle.shard_id,
+                    )
+
+    def _abort_start(self) -> None:
+        self._stop_collector.set()
+        for handle in self._handles:
+            if handle.process.is_alive():
+                handle.process.kill()
+        with self._room:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, sql: str) -> int:
+        """The shard owning ``sql``'s canonical template (deterministic).
+
+        Repeated shapes hit a constant-masked LRU; misses pay one parse +
+        translate + canonical fingerprint, exactly the template identity
+        the shard-side plan cache keys on — which is what guarantees that
+        isomorphic queries share both a shard *and* a cache entry.
+        """
+        masked = _CONSTANT_RE.sub("?", sql)
+        with self._room:
+            shard_id = self._routes.get(masked)
+            if shard_id is not None:
+                self._routes.move_to_end(masked)
+                self._route_hits += 1
+                return shard_id
+            self._route_misses += 1
+        translation = sql_to_conjunctive(parse_sql(sql), self._schema)
+        fingerprint = fingerprint_translation(translation)
+        shard_id = self.ring.shard_for(fingerprint.key)
+        with self._room:
+            self._routes[masked] = shard_id
+            if len(self._routes) > _ROUTE_CACHE_CAPACITY:
+                self._routes.popitem(last=False)
+        return shard_id
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        work_budget: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> "Future[DBMSResult]":
+        """Route and dispatch one query; block while its shard is full.
+
+        The returned future resolves to the shard's
+        :class:`~repro.engine.dbms.DBMSResult` or raises the worker-side
+        typed error; a dead worker fails it with
+        :class:`~repro.errors.ShardError`.
+
+        Raises:
+            ServiceClosed: the router is draining or closed.
+            ShardError: the target shard's worker is dead.
+        """
+        shard_id = self.route(sql)
+        handle = self._handles[shard_id]
+        future: "Future[DBMSResult]" = Future()
+        future.set_running_or_notify_cancel()
+        with self._room:
+            while (
+                not self._closed
+                and not handle.dead
+                and handle.inflight >= self.max_inflight_per_shard
+            ):
+                self._room.wait()
+            if self._closed:
+                raise ServiceClosed("shard router is closed")
+            if handle.dead:
+                raise ShardError(
+                    f"shard {shard_id} worker is dead", shard_id=shard_id
+                )
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            handle.inflight += 1
+            handle.dispatched += 1
+            handle.peak_inflight = max(
+                handle.peak_inflight, handle.inflight
+            )
+            self._pending[request_id] = (
+                future,
+                shard_id,
+                time.perf_counter(),
+            )
+        handle.request_queue.put(
+            QueryRequest(
+                request_id=request_id,
+                sql=sql,
+                work_budget=work_budget,
+                deadline_seconds=deadline_seconds,
+            )
+        )
+        return future
+
+    def run_all(
+        self,
+        queries: Sequence[str],
+        work_budget: Optional[int] = None,
+        return_exceptions: bool = False,
+        deadline_seconds: Optional[float] = None,
+    ) -> "List[Union[DBMSResult, Exception]]":
+        """Route a batch across the cluster; results in submission order.
+
+        Same contract as :meth:`QueryService.run_all`: with
+        ``return_exceptions``, typed library errors come back in place of
+        results; :class:`~repro.errors.QueryCancelled` (the caller asked
+        to stop) and non-library exceptions always propagate.  Errors
+        raised at *submission* time — an unparseable query failing in
+        :meth:`route`, a dead shard — follow the same rule, so one bad
+        query never aborts the rest of the batch.
+        """
+        outcomes: "List[Union[Future, Exception]]" = []
+        for sql in queries:
+            try:
+                outcomes.append(
+                    self.submit(
+                        sql,
+                        work_budget=work_budget,
+                        deadline_seconds=deadline_seconds,
+                    )
+                )
+            except QueryCancelled:
+                raise
+            except ReproError as exc:
+                if not return_exceptions:
+                    raise
+                outcomes.append(exc)
+        results: "List[Union[DBMSResult, Exception]]" = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                results.append(outcome)
+                continue
+            try:
+                results.append(outcome.result())
+            except QueryCancelled:
+                raise
+            except ReproError as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        """Drain the response queue; watch worker liveness in the gaps."""
+        while not self._stop_collector.is_set():
+            try:
+                message = self._response_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                self._check_liveness()
+                continue
+            if isinstance(message, WorkerReady):
+                handle = self._handles[message.shard_id]
+                handle.pid = message.pid
+                handle.ready.set()
+            elif isinstance(message, QueryAnswer):
+                self._resolve(
+                    message.request_id, message.shard_id, message
+                )
+            elif isinstance(message, QueryFailure):
+                self._resolve(
+                    message.request_id, message.shard_id, message
+                )
+            elif isinstance(message, SnapshotReply):
+                with self._room:
+                    waiter = self._snapshot_waiters.pop(
+                        message.request_id, None
+                    )
+                    self._registry_exports[message.shard_id] = (
+                        message.registry
+                    )
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(
+                        (message.shard_id, message.snapshot)
+                    )
+            elif isinstance(message, WorkerExit):
+                handle = self._handles[message.shard_id]
+                handle.exit = message
+                with self._room:
+                    self._registry_exports[message.shard_id] = (
+                        message.registry
+                    )
+                handle.exited.set()
+
+    def _resolve(
+        self,
+        request_id: int,
+        shard_id: int,
+        message: "Union[QueryAnswer, QueryFailure]",
+    ) -> None:
+        with self._room:
+            entry = self._pending.pop(request_id, None)
+            if entry is None:
+                return  # already failed by the watchdog or drain
+            future, _, submitted = entry
+            handle = self._handles[shard_id]
+            handle.inflight -= 1
+            self._latencies.append(time.perf_counter() - submitted)
+            self._room.notify_all()
+        if future.done():
+            return
+        if isinstance(message, QueryAnswer):
+            future.set_result(message.to_result())
+        else:
+            future.set_exception(message.to_error())
+
+    def _check_liveness(self) -> None:
+        """Fail in-flight futures of shards whose worker process died."""
+        for handle in self._handles:
+            if handle.dead or handle.exited.is_set():
+                continue
+            if handle.process.is_alive() or not handle.ready.is_set():
+                continue
+            # The process exited without a WorkerExit: a crash.  (A clean
+            # worker posts WorkerExit before leaving, and the queue feeder
+            # flushes it before process exit, so the exit message — if any
+            # — has been or will be observed; losing this race only means
+            # failing an already-resolved request id, which _resolve
+            # ignores.)
+            handle.dead = True
+            self._fail_shard_pending(
+                handle,
+                f"shard {handle.shard_id} worker died (exit code "
+                f"{handle.process.exitcode}) with requests in flight",
+            )
+
+    def _fail_shard_pending(self, handle: _ShardHandle, reason: str) -> None:
+        with self._room:
+            doomed = [
+                (request_id, future)
+                for request_id, (future, shard_id, _) in self._pending.items()
+                if shard_id == handle.shard_id
+            ]
+            for request_id, _ in doomed:
+                del self._pending[request_id]
+            handle.inflight = 0
+            self._room.notify_all()
+        for _, future in doomed:
+            if not future.done():
+                future.set_exception(
+                    ShardError(reason, shard_id=handle.shard_id)
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Live cluster snapshot: per-shard + merged + router-side view.
+
+        Shards whose worker is dead (or that miss the timeout) are
+        reported under ``unresponsive`` instead of blocking the rest.
+        """
+        waiters: List["tuple[int, Future]"] = []
+        with self._room:
+            if self._closed:
+                raise ServiceClosed("shard router is closed")
+            live = [
+                handle
+                for handle in self._handles
+                if not handle.dead and not handle.exited.is_set()
+            ]
+            for handle in live:
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                waiter: Future = Future()
+                self._snapshot_waiters[request_id] = waiter
+                waiters.append((request_id, waiter))
+        for handle, (request_id, _) in zip(live, waiters):
+            handle.request_queue.put(SnapshotCommand(request_id))
+        per_shard: Dict[int, Dict[str, Any]] = {}
+        unresponsive: List[int] = []
+        deadline = time.monotonic() + timeout
+        for handle, (request_id, waiter) in zip(live, waiters):
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                shard_id, shard_snapshot = waiter.result(timeout=remaining)
+            except FutureTimeout:
+                with self._room:
+                    self._snapshot_waiters.pop(request_id, None)
+                unresponsive.append(handle.shard_id)
+            else:
+                per_shard[shard_id] = shard_snapshot
+        return self._assemble_snapshot(per_shard, unresponsive)
+
+    def _assemble_snapshot(
+        self,
+        per_shard: Dict[int, Dict[str, Any]],
+        unresponsive: List[int],
+    ) -> Dict[str, Any]:
+        with self._room:
+            router = {
+                "shards": self.shards,
+                "routing_cache": {
+                    "hits": self._route_hits,
+                    "misses": self._route_misses,
+                    "size": len(self._routes),
+                    "capacity": _ROUTE_CACHE_CAPACITY,
+                },
+                "per_shard": {
+                    handle.shard_id: {
+                        "pid": handle.pid,
+                        "dispatched": handle.dispatched,
+                        "inflight": handle.inflight,
+                        "peak_inflight": handle.peak_inflight,
+                        "max_inflight": self.max_inflight_per_shard,
+                        "alive": handle.process.is_alive(),
+                    }
+                    for handle in self._handles
+                },
+            }
+        return {
+            "router": router,
+            "shards": {
+                shard_id: per_shard[shard_id]
+                for shard_id in sorted(per_shard)
+            },
+            "cache_hit_rates": shard_cache_hit_rates(per_shard),
+            "merged": merge_metric_snapshots(
+                [per_shard[s] for s in sorted(per_shard)]
+            ),
+            "unresponsive": unresponsive,
+        }
+
+    def render_prometheus(self) -> str:
+        """One Prometheus exposition merged from every shard's registry.
+
+        Uses the most recent registry export from each shard (refreshed
+        by :meth:`snapshot` and finalized by :meth:`drain`).
+        """
+        with self._room:
+            exports = [
+                self._registry_exports[shard_id]
+                for shard_id in sorted(self._registry_exports)
+            ]
+        return render_prometheus(merge_registry_exports(exports))
+
+    def client_latencies(self) -> List[float]:
+        """Router-observed seconds from dispatch to response, per query."""
+        with self._room:
+            return list(self._latencies)
+
+    def saturation(self) -> float:
+        """Peak per-shard inflight as a fraction of the per-shard bound."""
+        with self._room:
+            peak = max(
+                (handle.peak_inflight for handle in self._handles),
+                default=0,
+            )
+        return peak / self.max_inflight_per_shard
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Cross-shard graceful shutdown.
+
+        Stops admitting, broadcasts :class:`DrainCommand` to every live
+        shard (each drains its own service: queued queries cancel,
+        in-flight queries abort at their next cooperative checkpoint,
+        every outstanding request gets an explicit response), collects the
+        final :class:`WorkerExit` messages, kills any straggler past the
+        grace period, and fails whatever futures still dangle with
+        :class:`~repro.errors.ShardError`.
+
+        Returns:
+            True when every shard drained cleanly (worker reported a
+            clean drain, exited by itself, and left no dangling futures).
+        """
+        with self._room:
+            if self._drained is not None:
+                return self._drained
+            self._closed = True
+            self._room.notify_all()
+        for handle in self._handles:
+            if not handle.dead:
+                handle.request_queue.put(
+                    DrainCommand(grace_seconds=grace_seconds)
+                )
+        budget = (grace_seconds or 0.0) + _DRAIN_MARGIN
+        deadline = time.monotonic() + budget
+        clean = True
+        for handle in self._handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            if handle.dead:
+                clean = False
+                continue
+            if not handle.exited.wait(timeout=remaining):
+                clean = False
+            handle.process.join(
+                timeout=max(0.0, deadline - time.monotonic()) + 1.0
+            )
+            if handle.process.is_alive():
+                # SIGTERM is ignored by workers by design; escalate.
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+                clean = False
+            if handle.exit is not None and not handle.exit.drained:
+                clean = False
+        # The collector saw every WorkerExit that will ever arrive.
+        self._stop_collector.set()
+        self._collector.join(timeout=5.0)
+        with self._room:
+            dangling = list(self._pending.values())
+            self._pending.clear()
+            for handle in self._handles:
+                handle.inflight = 0
+        if dangling:
+            clean = False
+        for future, shard_id, _ in dangling:
+            if not future.done():
+                future.set_exception(
+                    ShardError(
+                        f"query abandoned: shard {shard_id} did not "
+                        f"respond before drain completed",
+                        shard_id=shard_id,
+                    )
+                )
+        for handle in self._handles:
+            handle.request_queue.close()
+            handle.request_queue.cancel_join_thread()
+        self._response_queue.close()
+        self._response_queue.cancel_join_thread()
+        self._drained = clean
+        return clean
+
+    def close(self) -> None:
+        """Alias for :meth:`drain` with no grace bound override."""
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # Post-drain aggregation
+    # ------------------------------------------------------------------
+
+    def worker_exits(self) -> Dict[int, WorkerExit]:
+        """Per-shard final state (only populated after :meth:`drain`)."""
+        return {
+            handle.shard_id: handle.exit
+            for handle in self._handles
+            if handle.exit is not None
+        }
+
+    def final_snapshot(self) -> Dict[str, Any]:
+        """The post-drain cluster snapshot (merged from worker exits)."""
+        exits = self.worker_exits()
+        per_shard = {
+            shard_id: exit_.snapshot for shard_id, exit_ in exits.items()
+        }
+        return self._assemble_snapshot(
+            per_shard,
+            [
+                handle.shard_id
+                for handle in self._handles
+                if handle.exit is None
+            ],
+        )
+
+    def span_records(self) -> List[Dict[str, Any]]:
+        """Merged, shard-tagged span records from every worker's tracer."""
+        return merge_span_records(
+            {
+                shard_id: exit_.span_records
+                for shard_id, exit_ in self.worker_exits().items()
+            }
+        )
+
+    def spans_dropped(self) -> int:
+        return sum(
+            exit_.spans_dropped for exit_ in self.worker_exits().values()
+        )
+
+    def open_spans(self) -> int:
+        return sum(
+            exit_.open_spans for exit_ in self.worker_exits().values()
+        )
+
+    def lock_violations(self) -> Dict[int, str]:
+        """Shard id → witnessed lock-order cycle (empty when clean)."""
+        return {
+            shard_id: exit_.lock_violation
+            for shard_id, exit_ in self.worker_exits().items()
+            if exit_.lock_violation
+        }
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

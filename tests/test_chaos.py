@@ -26,6 +26,9 @@ from tests.conftest import CHAIN_SQL
 #: (``HDQO_TEST_PARALLEL=4``); the availability contract must hold there too.
 PARALLEL_WORKERS = int(os.environ.get("HDQO_TEST_PARALLEL", "0") or 0)
 
+#: Worker-process count for the sharded storm; CI's shards job sets 8.
+SHARDS = int(os.environ.get("HDQO_TEST_SHARDS", "3") or 3)
+
 
 def make_service(dbms: SimulatedDBMS, **kwargs) -> QueryService:
     """A :class:`QueryService` honouring the suite's parallel-workers knob."""
@@ -187,6 +190,102 @@ class TestDrainUnderStorm:
         assert pool["active"] == 0
         # Drain restored the engine's built-in planner.
         assert svc.dbms.optimizer_handler is None
+
+
+def shard_storm_queries(repetitions: int = 6):
+    """A multi-template storm, so the faults hit more than one shard."""
+    templates = [
+        CHAIN_SQL.strip() + " AND r0.a0 < {c}",
+        CHAIN_SQL.strip() + " AND r1.a1 < {c}",
+        "SELECT r0.a0 FROM r0, r1 WHERE r0.b0 = r1.a1 AND r0.a0 < {c}",
+        "SELECT r2.a2, r3.a3 FROM r2, r3 "
+        "WHERE r2.b2 = r3.a3 AND r2.a2 < {c}",
+    ]
+    return [
+        template.format(c=3 + (rep % 4))
+        for rep in range(repetitions)
+        for template in templates
+    ]
+
+
+class TestShardChaosStorm:
+    """The chaos contract must survive the process boundary: every query
+    submitted to a fault-stormed shard cluster resolves as the correct
+    rows, an explicit DNF, or a typed error — across ``SHARDS`` worker
+    processes (CI's shards job raises ``HDQO_TEST_SHARDS`` to 8)."""
+
+    def test_shard_storm_correct_or_typed_error(self, chain_db):
+        from repro.shard import ShardConfig, ShardRouter
+
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        queries = shard_storm_queries()
+        answers = {}
+        for sql in queries:
+            if sql not in answers:
+                result = dbms.run_sql(sql)
+                assert result.finished
+                answers[sql] = result.relation
+
+        config = ShardConfig(
+            database=chain_db,
+            max_width=2,
+            workers=2,
+            queue_capacity=len(queries),
+            fault_spec=STORM_FAULTS,
+            seed=42,
+            parallel_workers=PARALLEL_WORKERS,
+        )
+        router = ShardRouter(config, shards=SHARDS)
+        try:
+            outcomes = router.run_all(queries, return_exceptions=True)
+            correct = explicit_dnf = typed_errors = 0
+            for sql, outcome in zip(queries, outcomes):
+                if isinstance(outcome, ReproError):
+                    typed_errors += 1  # reconstructed across the boundary
+                elif isinstance(outcome, DBMSResult) and not outcome.finished:
+                    explicit_dnf += 1
+                else:
+                    assert isinstance(outcome, DBMSResult)
+                    assert outcome.relation.same_content(answers[sql])
+                    correct += 1
+            assert correct > 0
+            assert correct + explicit_dnf + typed_errors == len(queries)
+        finally:
+            assert router.drain(grace_seconds=30.0)
+        assert router.lock_violations() == {}
+
+    def test_drain_mid_shard_storm_every_query_resolves(self, chain_db):
+        """Cross-shard graceful drain with latency faults keeping queries
+        in flight: no future may hang, and every outcome is explicit."""
+        from repro.shard import ShardConfig, ShardRouter
+
+        config = ShardConfig(
+            database=chain_db,
+            max_width=2,
+            workers=2,
+            queue_capacity=256,
+            fault_spec="exec.join:latency:0.5:2",
+            seed=3,
+            parallel_workers=PARALLEL_WORKERS,
+        )
+        router = ShardRouter(config, shards=SHARDS)
+        queries = shard_storm_queries(repetitions=10)
+        futures = [router.submit(sql) for sql in queries]
+        router.drain(grace_seconds=30.0)
+        outcomes = {"ok": 0, "typed": 0}
+        for future in futures:
+            try:
+                result = future.result(timeout=RESULT_TIMEOUT)
+            except ReproError:
+                outcomes["typed"] += 1  # QueryCancelled or ShardError
+            else:
+                assert isinstance(result, DBMSResult)
+                outcomes["ok"] += 1
+        assert sum(outcomes.values()) == len(queries)
+        # Every shard posted its final state; none was killed hard.
+        exits = router.worker_exits()
+        assert set(exits) == set(range(SHARDS))
+        assert all(exit_.drained for exit_ in exits.values())
 
 
 class TestServiceErrorPaths:

@@ -164,6 +164,25 @@ class TestCommands:
         assert "errors:" in out
         assert "fallbacks:" in out
 
+    def test_bench_serve_sharded_records_report(self, capsys, tmp_path):
+        import json
+
+        record = tmp_path / "BENCH_serving.json"
+        assert main(
+            ["bench-serve", "--shards", "2", "--workers", "2",
+             "--record", str(record)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded serving" in out
+        assert "p50=" in out and "p99=" in out
+        assert "identical=True" in out
+        report = json.loads(record.read_text())
+        assert report["benchmark"] == "sharded-serving"
+        assert report["parity"]["identical"] is True
+        assert report["hit_rate_ok"] is True
+        assert report["sharded"]["drained_clean"] is True
+        assert report["python"]  # the bench_record.py envelope
+
     def test_serve_sigint_drains_and_flushes(self):
         """SIGINT mid-batch: graceful drain, exit 130, metrics still flushed."""
         import os
@@ -211,3 +230,101 @@ class TestCommands:
         # Observability still flushed on the signal path.
         assert "queries:" in out
         assert "pool:" in out
+
+    def test_serve_sharded_answers_match_single_process(
+        self, capsys, monkeypatch
+    ):
+        """``--shards 2`` and the default path print identical result
+        lines for the same stdin batch (rows, order, and work units; only
+        wall-clock columns may differ)."""
+        import io
+
+        def result_lines(argv, stdin):
+            monkeypatch.setattr("sys.stdin", io.StringIO(stdin))
+            assert main(argv) == 0
+            lines = []
+            for line in capsys.readouterr().out.splitlines():
+                parts = line.split()
+                # "  1 q-hd   165   25   0.001" -> drop the wall column.
+                if parts and parts[0].isdigit():
+                    lines.append(tuple(parts[:-1]))
+            return lines
+
+        stdin = "q5\nq5\nq3\n"
+        single = result_lines(
+            ["serve", "--size-mb", "20", "--workers", "2"], stdin
+        )
+        sharded = result_lines(
+            ["serve", "--size-mb", "20", "--workers", "2", "--shards", "2"],
+            stdin,
+        )
+        assert len(single) == 3
+        assert sharded == single
+
+    def test_serve_sharded_bad_query_reported_not_crashing(
+        self, capsys, monkeypatch
+    ):
+        """An unparseable line fails at routing time (the router parses
+        to fingerprint); it must become a per-line error, not abort the
+        batch — same contract as the single-process path."""
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("q5\nNOT SQL AT ALL\nq5\n")
+        )
+        assert main(
+            ["serve", "--size-mb", "20", "--workers", "2", "--shards", "2"]
+        ) == 2
+        out = capsys.readouterr().out
+        assert "error: expected 'select'" in out
+        assert "q-hd" in out  # the good queries still ran
+        assert "q-hd(cached)" in out
+
+    @pytest.mark.parametrize("signal_name", ["SIGINT", "SIGTERM"])
+    def test_serve_sharded_signal_drains_cluster(self, signal_name):
+        """A signal mid-batch drains every shard process: exit 130, the
+        merged metrics still flush, and no worker is left behind."""
+        import os
+        import signal as signal_module
+        import subprocess
+        import sys as sys_module
+        import time
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        env = dict(
+            os.environ, PYTHONPATH=str(root / "src"), PYTHONUNBUFFERED="1"
+        )
+        proc = subprocess.Popen(
+            [sys_module.executable, "-m", "repro.cli", "serve",
+             "--size-mb", "20", "--workers", "2", "--shards", "2",
+             "--grace", "20",
+             "--inject", "exec.join:latency:1.0:50"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=root,
+        )
+        try:
+            proc.stdin.write("q5\n" * 40)
+            proc.stdin.close()
+            header = proc.stdout.readline()
+            assert "optimizer" in header
+            time.sleep(0.5)  # well inside run_all now
+            proc.send_signal(getattr(signal_module, signal_name))
+            returncode = proc.wait(timeout=120)
+            out = header + proc.stdout.read()
+            err = proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()
+        assert returncode == 130, err
+        assert "draining 2 shards" in err
+        # The merged cluster view still flushed on the signal path.
+        assert "merged cluster metrics" in out
+        assert "queries:" in out
+        assert "per-shard cache hit rates" in out
