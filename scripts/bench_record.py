@@ -29,6 +29,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench.record import stamp_record, validate_record
 from repro.core.optimizer import HybridOptimizer
 from repro.workloads.synthetic import (
     StarConfig,
@@ -116,6 +117,23 @@ def run_serving(args: argparse.Namespace) -> dict:
     return report
 
 
+def write_report(report: dict, output: Path, root: Path) -> None:
+    """Stamp provenance and write the record — refusing invalid schemas.
+
+    Every artifact this script produces carries the git SHA and an
+    ISO-8601 UTC timestamp, and is schema-validated *before* the write so
+    a malformed record never lands on the perf trajectory.
+    """
+    stamp_record(report, cwd=str(root))
+    problems = validate_record(report)
+    if problems:
+        raise SystemExit(
+            "refusing to write invalid bench record:\n"
+            + "\n".join(f"  - {problem}" for problem in problems)
+        )
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -156,7 +174,7 @@ def main() -> int:
 
     if args.benchmark == "serving":
         report = run_serving(args)
-        output.write_text(json.dumps(report, indent=2) + "\n")
+        write_report(report, output, root)
         print(json.dumps(report, indent=2))
         parity = report["parity"]["identical"]
         hit_rate_ok = report["hit_rate_ok"]
@@ -168,7 +186,7 @@ def main() -> int:
         return 0 if parity and hit_rate_ok and drained else 1
 
     report = run(args.repeats)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(report, output, root)
     chain = report["workloads"]["chain"]
     speedup = chain["parallel_4"]["speedup"]
     print(json.dumps(report, indent=2))

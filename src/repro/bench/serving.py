@@ -92,6 +92,7 @@ def run_serving_throughput(
     repetitions: int = 0,
     deadline_ms: "Optional[float]" = None,
     inject: "Optional[str]" = None,
+    insights: bool = False,
 ) -> ExperimentResult:
     """Cold vs warm repeated-template serving over a mixed workload.
 
@@ -106,6 +107,9 @@ def run_serving_throughput(
             separated) driving a deterministic
             :class:`~repro.resilience.faults.FaultInjector`; each service
             run gets its own injector seeded from ``seed``.
+        insights: attach a per-run
+            :class:`~repro.obs.insights.registry.InsightsRegistry`; the
+            per-template counts ride along in the record extras.
     """
     from repro.errors import ReproError
     from repro.resilience.faults import FaultInjector
@@ -120,6 +124,11 @@ def run_serving_throughput(
 
     for system, cache_capacity in (("cold", 0), ("warm", 128)):
         injector = FaultInjector(inject, seed=seed) if inject else None
+        sink = None
+        if insights:
+            from repro.obs.insights.registry import InsightsRegistry
+
+            sink = InsightsRegistry()
         service = QueryService(
             SimulatedDBMS(database, COMMDB_PROFILE),
             max_width=3,
@@ -130,6 +139,7 @@ def run_serving_throughput(
                 deadline_ms / 1000.0 if deadline_ms is not None else None
             ),
             fault_injector=injector,
+            insights=sink,
         )
         try:
             queries = instantiate(templates, repetitions)
@@ -145,7 +155,20 @@ def run_serving_throughput(
             snapshot = service.snapshot()
             planning = snapshot["planning"]
             resilience = snapshot["resilience"]
+            latency = snapshot["latency_seconds"]
             deadline_misses = resilience["deadline_misses"]
+            insight_extras = {}
+            if sink is not None:
+                insight_snapshot = sink.snapshot()
+                insight_extras = {
+                    "insight_templates": len(insight_snapshot["templates"]),
+                    "slow_outliers": sum(
+                        len(entries)
+                        for entries in insight_snapshot["slow_log"][
+                            "outliers"
+                        ].values()
+                    ),
+                }
             result.add(
                 RunRecord(
                     system=system,
@@ -173,6 +196,9 @@ def run_serving_throughput(
                         ),
                         "degraded_lower_k": resilience["degraded_lower_k"],
                         "breaker_skips": resilience["breaker_skips"],
+                        "latency_p50_ms": round(latency["p50"] * 1000, 3),
+                        "latency_p99_ms": round(latency["p99"] * 1000, 3),
+                        **insight_extras,
                     },
                     phase_work={
                         "decompose": planning["work_units"],
@@ -197,6 +223,38 @@ def run_serving_throughput(
 # ---------------------------------------------------------------------------
 
 
+def _insights_summary(merged_insights) -> dict:
+    """Compact per-template summary of a merged insights snapshot.
+
+    Full histograms would bloat the BENCH record; the trajectory only
+    needs the headline shape: per-template query/error counts and the
+    execute-phase p50/p99 from the merged streaming histograms.
+    """
+    from repro.obs.insights.histogram import quantile_from_snapshot
+
+    templates = {}
+    if isinstance(merged_insights, dict):
+        for key, entry in sorted(merged_insights.get("templates", {}).items()):
+            latency = (
+                entry.get("phases", {}).get("execute", {}).get("latency", {})
+            )
+            templates[key] = {
+                "queries": entry.get("queries", 0),
+                "errors": entry.get("errors", 0),
+                "latency_p50_ms": round(
+                    quantile_from_snapshot(latency, 0.50) * 1000, 3
+                )
+                if latency
+                else 0.0,
+                "latency_p99_ms": round(
+                    quantile_from_snapshot(latency, 0.99) * 1000, 3
+                )
+                if latency
+                else 0.0,
+            }
+    return {"templates": templates}
+
+
 def _percentile(samples: Sequence[float], q: float) -> float:
     """Exact q-th percentile (nearest-rank) of client-observed samples."""
     if not samples:
@@ -216,6 +274,7 @@ def run_sharded_serving(
     repetitions: int = 0,
     deadline_ms: "Optional[float]" = None,
     inject: "Optional[str]" = None,
+    insights: bool = False,
 ) -> dict:
     """Mixed multi-tenant traffic over a shard cluster vs one process.
 
@@ -288,6 +347,7 @@ def run_sharded_serving(
         deadline_seconds=deadline_seconds,
         fault_spec=inject,
         seed=seed,
+        insights=insights,
     )
     router = ShardRouter(config, shards=shards)
     try:
@@ -385,6 +445,11 @@ def run_sharded_serving(
             "cache_hits_total": merged["planning"]["cache_hits"],
             "errors": errors,
             "drained_clean": drained_clean,
+            **(
+                {"insights": _insights_summary(merged.get("insights"))}
+                if insights
+                else {}
+            ),
         },
         "parity": {
             "identical": identical,

@@ -11,7 +11,12 @@ Subcommands:
 * ``explain`` — show the engine join plan vs the decomposition plan;
 * ``serve`` — run queries (stdin, one per line) through a concurrent
   :class:`~repro.service.server.QueryService` and print per-query results
-  plus the serving metrics snapshot;
+  plus the serving metrics snapshot (``--insights`` adds the per-template
+  insights registry: streaming histograms, slow-query log, SLO burn
+  rates);
+* ``top`` — live terminal view over a published insights snapshot;
+* ``report`` — offline per-template analytics over exported span JSONL,
+  with optional regression checks against a ``BENCH_*.json`` baseline;
 * ``bench-serve`` — the repeated-template serving benchmark (plan cache
   cold vs warm).
 """
@@ -181,6 +186,75 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _single_process_payload(service, insights) -> dict:
+    """The ``hdqo top`` snapshot payload for a single-process service."""
+    metrics = service.metrics
+    hits = metrics.plans_cached
+    plans = hits + metrics.plans_built
+    return {
+        "service": {
+            "queries": metrics.queries,
+            "cache_hit_rate": hits / plans if plans else 0.0,
+            "saturation": None,
+            "shards": 1,
+        },
+        "insights": insights.snapshot() if insights is not None else {},
+    }
+
+
+def _cluster_payload(snapshot, saturation: float, shards: int) -> dict:
+    """The ``hdqo top`` snapshot payload from a (merged) router snapshot."""
+    merged = snapshot.get("merged") or {}
+    planning = merged.get("planning") or {}
+    hits = planning.get("cache_hits", 0)
+    plans = hits + planning.get("built", 0)
+    return {
+        "service": {
+            "queries": (merged.get("queries") or {}).get("submitted", 0),
+            "cache_hit_rate": hits / plans if plans else 0.0,
+            "saturation": saturation,
+            "shards": shards,
+        },
+        "insights": merged.get("insights") or {},
+    }
+
+
+def _start_insights_publisher(args, flushers, payload, final_payload=None):
+    """Publish the insights snapshot file periodically + once on flush.
+
+    Returns the publisher's stop event (or None when not publishing).
+    The final publish is a registered flusher, so whichever exit path
+    runs — SIGINT, SIGTERM, normal drain — writes the last snapshot
+    exactly once.  ``final_payload`` overrides the periodic payload for
+    that flush-time write (the sharded path reads worker-exit snapshots
+    there, the live poll path being closed by then).
+    """
+    if not getattr(args, "insights", False) or not args.insights_snapshot:
+        return None
+    import threading
+
+    from repro.obs.insights.top import publish_snapshot_file
+
+    path = args.insights_snapshot
+    last = final_payload if final_payload is not None else payload
+    flushers.register(
+        "insights-snapshot", lambda: publish_snapshot_file(path, last())
+    )
+    stop = threading.Event()
+
+    def _loop() -> None:
+        while not stop.wait(args.insights_interval):
+            try:
+                publish_snapshot_file(path, payload())
+            except Exception:  # hdqo: ignore[error-swallowing] — a failed periodic publish must not kill serving; the flush-time publish reports errors
+                pass
+
+    threading.Thread(
+        target=_loop, name="hdqo-insights-publisher", daemon=True
+    ).start()
+    return stop
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve queries read from stdin (one per line) through a QueryService.
 
@@ -202,6 +276,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import json as json_module
     import signal
 
+    from repro.obs.flush import FlushRegistry
     from repro.obs.tracing import tracing
     from repro.resilience.faults import FaultInjector
     from repro.service.metrics import render_snapshot
@@ -222,6 +297,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.shards >= 2:
         return _serve_sharded(args, database, queries)
 
+    insights = None
+    if args.insights:
+        from repro.obs.insights.registry import InsightsRegistry
+
+        insights = InsightsRegistry()
     injector = (
         FaultInjector(args.inject, seed=args.seed) if args.inject else None
     )
@@ -237,6 +317,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         fault_injector=injector,
         parallel_workers=args.parallel,
+        insights=insights,
+    )
+    # Every exit path (SIGINT, SIGTERM, normal end-of-input) funnels
+    # through one FlushRegistry: each registered flusher runs exactly once.
+    flushers = FlushRegistry()
+    stop_publisher = _start_insights_publisher(
+        args, flushers, lambda: _single_process_payload(service, insights)
     )
     exit_code = 0
     tracer = None
@@ -302,14 +389,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"trace problem: {problem}", file=sys.stderr)
                 if exit_code == 0:
                     exit_code = 2
+        if stop_publisher is not None:
+            stop_publisher.set()
+        flushers.flush()
+        for error in flushers.errors:
+            print(f"flush error: {error}", file=sys.stderr)
+            if exit_code == 0:
+                exit_code = 2
         print()
         snapshot = service.snapshot()
         if args.metrics_format == "json":
             print(json_module.dumps(snapshot, indent=2, sort_keys=True))
         elif args.metrics_format == "prom":
             print(service.metrics.render_text())
+            if insights is not None:
+                from repro.obs.insights.registry import (
+                    render_insights_prometheus,
+                )
+
+                print(render_insights_prometheus(insights.snapshot()))
         else:
+            insights_snap = snapshot.pop("insights", None)
             print(render_snapshot(snapshot))
+            if insights_snap is not None:
+                from repro.obs.insights.top import render_top
+
+                print()
+                print(
+                    render_top(
+                        _single_process_payload(service, insights)
+                    )
+                )
     return exit_code
 
 
@@ -325,6 +435,8 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
     import json as json_module
     import signal
 
+    from repro.errors import ReproError
+    from repro.obs.flush import FlushRegistry
     from repro.obs.tracing import validate_span_records
     from repro.service.metrics import render_snapshot
     from repro.shard import ShardConfig, ShardRouter
@@ -343,8 +455,26 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
         seed=args.seed,
         parallel_workers=args.parallel,
         trace=bool(args.trace),
+        insights=bool(args.insights),
     )
     router = ShardRouter(config, shards=args.shards)
+
+    def _live_payload() -> dict:
+        try:
+            snapshot = router.snapshot()
+        except ReproError:  # closing/draining: keep the last published file
+            raise RuntimeError("router is draining")
+        return _cluster_payload(snapshot, router.saturation(), args.shards)
+
+    def _final_payload() -> dict:
+        return _cluster_payload(
+            router.final_snapshot(), router.saturation(), args.shards
+        )
+
+    flushers = FlushRegistry()
+    stop_publisher = _start_insights_publisher(
+        args, flushers, _live_payload, final_payload=_final_payload
+    )
     exit_code = 0
 
     def _on_signal(signum, frame):  # pragma: no cover - exercised via tests
@@ -425,21 +555,48 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
             )
             if exit_code == 0:
                 exit_code = 2
+        if stop_publisher is not None:
+            stop_publisher.set()
+        flushers.flush()
+        for error in flushers.errors:
+            print(f"flush error: {error}", file=sys.stderr)
+            if exit_code == 0:
+                exit_code = 2
         print()
         snapshot = router.final_snapshot()
         if args.metrics_format == "json":
             print(json_module.dumps(snapshot, indent=2, sort_keys=True))
         elif args.metrics_format == "prom":
             print(router.render_prometheus())
+            merged_insights = (snapshot.get("merged") or {}).get("insights")
+            if args.insights and merged_insights:
+                from repro.obs.insights.registry import (
+                    render_insights_prometheus,
+                )
+
+                print(render_insights_prometheus(merged_insights))
         else:
+            merged = dict(snapshot["merged"])
+            merged_insights = merged.pop("insights", None)
             print("merged cluster metrics:")
-            print(render_snapshot(snapshot["merged"], indent="  "))
+            print(render_snapshot(merged, indent="  "))
             print("per-shard cache hit rates:")
             for shard_id, rate in sorted(
                 snapshot["cache_hit_rates"].items()
             ):
                 shown = f"{rate:.2%}" if rate is not None else "-"
                 print(f"  shard {shard_id}: {shown}")
+            if merged_insights is not None:
+                from repro.obs.insights.top import render_top
+
+                print()
+                print(
+                    render_top(
+                        _cluster_payload(
+                            snapshot, router.saturation(), args.shards
+                        )
+                    )
+                )
     return exit_code
 
 
@@ -454,6 +611,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         deadline_ms=args.deadline_ms,
         inject=args.inject,
+        insights=args.insights,
     )
     print(render_series_table(result, metric="work", point_label="repetitions"))
     cold = result.series("cold")[-1]
@@ -499,6 +657,17 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             f"warm decompose={warm.phase_work['decompose']} "
             f"execute={warm.phase_work['execute']}"
         )
+    print(
+        f"latency:       cold p99={cold.extra['latency_p99_ms']}ms  "
+        f"warm p99={warm.extra['latency_p99_ms']}ms"
+    )
+    if args.insights:
+        print(
+            f"insights:      cold templates={cold.extra['insight_templates']} "
+            f"warm templates={warm.extra['insight_templates']}  "
+            f"(slow outliers: cold={cold.extra['slow_outliers']} "
+            f"warm={warm.extra['slow_outliers']})"
+        )
     return 0
 
 
@@ -515,6 +684,7 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         deadline_ms=args.deadline_ms,
         inject=args.inject,
+        insights=args.insights,
     )
     base, shard = report["baseline"], report["sharded"]
     print(
@@ -550,6 +720,16 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         f"hit-rate:    every shard ≥ baseline: {report['hit_rate_ok']}  "
         f"drain clean: {shard['drained_clean']}"
     )
+    if args.insights and "insights" in shard:
+        templates = shard["insights"]["templates"]
+        worst = max(
+            (entry["latency_p99_ms"] for entry in templates.values()),
+            default=0.0,
+        )
+        print(
+            f"insights:    {len(templates)} template(s), "
+            f"worst p99={worst}ms"
+        )
     if args.record:
         # Same envelope scripts/bench_record.py --benchmark serving writes,
         # so BENCH_serving.json is one format wherever it was produced.
@@ -568,6 +748,68 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         and shard["drained_clean"]
     )
     return 0 if ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live top-style view over a published insights snapshot file.
+
+    Point it at the ``--insights-snapshot`` file a ``hdqo serve
+    --insights`` process publishes.  On a TTY the view refreshes in place
+    every ``--interval`` seconds; piped/CI output degrades to one plain
+    text frame.
+    """
+    from repro.obs.insights.top import run_top
+
+    return run_top(
+        args.snapshot,
+        interval=args.interval,
+        iterations=args.iterations,
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Offline per-template analytics over an exported span JSONL file.
+
+    Reconstructs the per-template/per-phase latency and work distributions
+    the live insights registry would have held, validates the trace's
+    internal consistency, and — with ``--baseline`` — flags regressions
+    against a recorded ``BENCH_*.json`` trajectory point.  Exits 1 on any
+    trace problem or flagged regression.
+    """
+    import json as json_module
+
+    from repro.obs.insights.report import (
+        analyze_spans,
+        check_baseline,
+        load_span_records,
+        render_report,
+    )
+
+    records, load_problems = load_span_records(args.spans)
+    analysis = analyze_spans(records)
+    analysis["problems"] = load_problems + list(analysis["problems"])
+
+    flags = None
+    warnings = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json_module.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 1
+        if not isinstance(baseline, dict):
+            print(f"baseline {args.baseline} is not a JSON object", file=sys.stderr)
+            return 1
+        flags, warnings = check_baseline(
+            analysis, baseline, tolerance=args.tolerance
+        )
+
+    print(render_report(analysis, flags, warnings))
+    problems = analysis["problems"]
+    if problems or flags:
+        return 1
+    return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -762,7 +1004,67 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = the unchanged single-process path; answers are identical "
         "either way)",
     )
+    p.add_argument(
+        "--insights",
+        action="store_true",
+        help="record per-template query insights (streaming latency/work "
+        "histograms, slow-query log, SLO burn rates); zero work-unit "
+        "cost when off",
+    )
+    p.add_argument(
+        "--insights-snapshot",
+        metavar="FILE",
+        default=None,
+        help="with --insights: periodically publish the (merged) insights "
+        "snapshot JSON to FILE for `hdqo top`",
+    )
+    p.add_argument(
+        "--insights-interval",
+        type=float,
+        default=2.0,
+        help="seconds between insights snapshot publishes",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view over a published insights snapshot",
+    )
+    p.add_argument(
+        "snapshot",
+        help="snapshot JSON published by `hdqo serve --insights "
+        "--insights-snapshot FILE`",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh seconds (TTY)"
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: loop on a TTY, one "
+        "frame otherwise)",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "report",
+        help="offline per-template analytics over exported span JSONL",
+    )
+    p.add_argument("spans", help="span JSONL exported by `hdqo serve --trace`")
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="BENCH_*.json record to check for regressions against",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        help="allowed p99 ratio over the baseline before flagging",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "bench-serve",
@@ -799,6 +1101,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --shards: also write the report JSON "
         "(BENCH_serving.json format) to FILE",
+    )
+    p.add_argument(
+        "--insights",
+        action="store_true",
+        help="record per-template insights during the benchmark and "
+        "report the per-template summary",
     )
     p.set_defaults(func=cmd_bench_serve)
     return parser

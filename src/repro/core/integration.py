@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple, Union
 
 from repro.analysis.lockwitness import make_lock
 from repro.errors import (
@@ -42,6 +42,7 @@ from repro.errors import (
 from repro.engine.dbms import OptimizerHandler, SimulatedDBMS
 from repro.engine.scans import atom_relations
 from repro.metering import WorkMeter
+from repro.obs.insights.registry import NULL_INSIGHTS
 from repro.obs.tracing import current_tracer
 from repro.query.translate import TranslationResult
 from repro.relational.relation import Relation
@@ -53,6 +54,7 @@ from repro.core.optimizer import cost_model_from_database
 from repro.core.qhd import q_hypertree_decomp
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.obs.insights.registry import InsightsRegistry, NullInsights
     from repro.service.metrics import ServiceMetrics
     from repro.service.plancache import PlanCache
 
@@ -69,6 +71,48 @@ _LADDER_ERRORS = (
 )
 
 
+class _InsightScope:
+    """Per-query carrier between the handler body and its insights wrapper.
+
+    The body knows the template key, the degradation step taken, and the
+    serving span ids; the wrapper knows the end-to-end latency and the
+    final outcome.  One mutable scope hands the former to the latter
+    without re-computing the fingerprint.
+    """
+
+    __slots__ = ("key", "degraded_to", "span_ids")
+
+    def __init__(self) -> None:
+        self.key: Optional[str] = None
+        self.degraded_to: Optional[str] = None
+        self.span_ids: list = []
+
+
+def _span_subtree(tracer, root_ids) -> list:
+    """Finished-span records under the given serving span ids.
+
+    The slow-query log's evidence capture: the ``serve.plan`` /
+    ``serve.execute`` spans of one query plus every descendant
+    (``decompose.*``, ``qhd.node``, ``exec.*``).  Runs only on slow-log
+    admission — bounded by the log's top-K — never on the hot path.
+    """
+    roots = {span_id for span_id in root_ids if span_id}
+    if not roots:
+        return []
+    spans = tracer.spans()
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    selected = []
+    frontier = [span for span in spans if span.span_id in roots]
+    while frontier:
+        span = frontier.pop()
+        selected.append(span)
+        frontier.extend(children.get(span.span_id, ()))
+    selected.sort(key=lambda span: span.span_id)
+    return [span.to_record() for span in selected]
+
+
 def install_structural_optimizer(
     dbms: SimulatedDBMS,
     max_width: int = 4,
@@ -78,6 +122,7 @@ def install_structural_optimizer(
     metrics: "Optional[ServiceMetrics]" = None,
     breaker: "Optional[CircuitBreaker]" = None,
     parallel_workers: int = 0,
+    insights: "Optional[Union[InsightsRegistry, NullInsights]]" = None,
 ) -> OptimizerHandler:
     """Replace the engine's optimizer handler with the structural pipeline.
 
@@ -103,6 +148,14 @@ def install_structural_optimizer(
             with a per-request :class:`repro.parallel.NodeMemo`; ``0``/``1``
             keeps the serial evaluator, byte-identical to previous
             releases.
+        insights: a per-template
+            :class:`~repro.obs.insights.registry.InsightsRegistry`
+            receiving one phase observation per planning/execution step
+            (keyed by canonical template fingerprint), SLO outcomes, and
+            slow-query captures with the query's span subtree; the
+            default :data:`~repro.obs.insights.registry.NULL_INSIGHTS`
+            makes every recording call a constant-time no-op with zero
+            work-unit cost.
 
     The installed handler plans through a **degradation ladder**: (1) the
     cost-k-decomp search at ``max_width`` (cache-accelerated); on failure
@@ -278,8 +331,13 @@ def install_structural_optimizer(
         )
         return decomposition, True, 0, time.perf_counter() - started
 
-    def handler(
-        engine: SimulatedDBMS, translation: TranslationResult, meter: WorkMeter
+    sink = insights if insights is not None else NULL_INSIGHTS
+
+    def _handle(
+        engine: SimulatedDBMS,
+        translation: TranslationResult,
+        meter: WorkMeter,
+        scope: Optional[_InsightScope],
     ) -> Tuple[Relation, str, str]:
         tracer = current_tracer()
         use_stats = engine.database.has_statistics()
@@ -292,15 +350,21 @@ def install_structural_optimizer(
             # Ladder step 1: cost-k-decomp at max_width — unless this
             # template's breaker is open (repeated planning failures).
             skip_search = False
-            if breaker is not None:
+            if breaker is not None or scope is not None:
                 breaker_key = _fingerprint(
                     engine, translation, use_stats, max_width
                 ).key
-                if not breaker.allow(breaker_key):
+                span.tag(template=breaker_key)
+                if scope is not None:
+                    scope.key = breaker_key
+                    scope.span_ids.append(span.span_id)
+                if breaker is not None and not breaker.allow(breaker_key):
                     skip_search = True
                     span.tag(breaker_open=True)
                     if metrics is not None:
                         metrics.record_breaker_skip()
+                    if scope is not None:
+                        sink.record_event(breaker_key, "breaker_open")
             if not skip_search:
                 try:
                     decomposition, cache_hit, plan_units, plan_seconds = (
@@ -311,10 +375,18 @@ def install_structural_optimizer(
                     span.tag(cache_hit=False, error=type(exc).__name__)
                     if breaker is not None:
                         breaker.record_failure(breaker_key)
+                    if scope is not None and breaker_key is not None:
+                        sink.record_event(
+                            breaker_key, f"plan_error:{type(exc).__name__}"
+                        )
                 else:
                     span.tag(cache_hit=cache_hit, plan_units=plan_units)
                     if breaker is not None:
                         breaker.record_success(breaker_key)
+                    if scope is not None and breaker_key is not None:
+                        sink.record_phase(
+                            breaker_key, "decompose", plan_seconds, plan_units
+                        )
             if decomposition is None:
                 # Ladder step 2: a cached plan at a smaller width bound.
                 decomposition, lower_k = _cached_lower_k(
@@ -322,8 +394,14 @@ def install_structural_optimizer(
                 )
                 if decomposition is not None:
                     span.tag(degraded_to=f"lower-k({lower_k})")
+                    if scope is not None and breaker_key is not None:
+                        scope.degraded_to = f"lower-k({lower_k})"
+                        sink.record_event(breaker_key, "degraded:lower-k")
                 elif fallback_to_builtin:
                     span.tag(degraded_to="builtin", fallback=True)
+                    if scope is not None and breaker_key is not None:
+                        scope.degraded_to = "builtin"
+                        sink.record_event(breaker_key, "degraded:builtin")
 
         if decomposition is None:
             # Ladder step 3: the built-in quantitative planner; step 4: the
@@ -379,12 +457,17 @@ def install_structural_optimizer(
                 tracer=tracer,
             ).evaluate(base)
 
+        exec_started = time.perf_counter() if scope is not None else 0.0
+        exec_work_start = meter.total if scope is not None else 0
         with tracer.span(
             "serve.execute",
             meter=meter,
             query=translation.query.name,
             cache_hit=cache_hit,
         ) as span:
+            if scope is not None and breaker_key is not None:
+                span.tag(template=breaker_key)
+                scope.span_ids.append(span.span_id)
             memo = None
             if parallel_workers >= 2:
                 from repro.parallel import NodeMemo
@@ -407,16 +490,63 @@ def install_structural_optimizer(
                 span.tag(exec_degraded_to=f"lower-k({retry_k})")
                 if metrics is not None:
                     metrics.record_degradation("exec-lower-k")
+                if scope is not None and breaker_key is not None:
+                    scope.degraded_to = f"exec-lower-k({retry_k})"
+                    sink.record_event(breaker_key, "degraded:exec-lower-k")
                 answer = _evaluate(retry_tree, memo)
                 decomposition, lower_k = retry_tree, retry_k
             if memo is not None:
                 span.tag(memo_hits=memo.hits)
             span.tag(rows_out=len(answer))
+        if scope is not None and breaker_key is not None:
+            sink.record_phase(
+                breaker_key,
+                "execute",
+                time.perf_counter() - exec_started,
+                meter.total - exec_work_start,
+            )
         if lower_k is not None:
             label = f"q-hd(k={lower_k})"
         else:
             label = "q-hd(cached)" if cache_hit else "q-hd"
         return answer, decomposition.render(), label
+
+    def handler(
+        engine: SimulatedDBMS, translation: TranslationResult, meter: WorkMeter
+    ) -> Tuple[Relation, str, str]:
+        if not sink.enabled:
+            return _handle(engine, translation, meter, None)
+        # Insights wrapper: end-to-end latency, SLO outcome, and (on
+        # slow-log admission only) the expensive evidence capture.
+        scope = _InsightScope()
+        started = time.perf_counter()
+        try:
+            answer, plan_text, label = _handle(
+                engine, translation, meter, scope
+            )
+        except Exception as exc:
+            if scope.key is not None:
+                seconds = time.perf_counter() - started
+                sink.record_event(scope.key, f"error:{type(exc).__name__}")
+                sink.record_outcome(scope.key, seconds, ok=False)
+            raise
+        seconds = time.perf_counter() - started
+        if scope.key is not None:
+            sink.record_outcome(scope.key, seconds, ok=True)
+            if sink.qualifies_slow(scope.key, seconds):
+                tracer = current_tracer()
+                sink.record_slow(
+                    scope.key,
+                    seconds,
+                    {
+                        "query": translation.query.name,
+                        "plan_label": label,
+                        "degraded_to": scope.degraded_to,
+                        "explain": plan_text,
+                        "spans": _span_subtree(tracer, scope.span_ids),
+                    },
+                )
+        return answer, plan_text, label
 
     dbms.set_optimizer_handler(handler)
     handler.parallel_pool = pool  # type: ignore[attr-defined]

@@ -1,0 +1,75 @@
+"""Registered flushers: subsystem flush-on-exit with exactly-once runs.
+
+``hdqo serve`` has three ways out — SIGINT, SIGTERM, and a normal
+end-of-input drain — and before this module each subsystem that needed a
+final flush (tracer export, metrics print, insights snapshot) had to be
+wired into every path by hand; the insights sink made a fourth caller
+and the duplication a bug farm.  A :class:`FlushRegistry` inverts that:
+subsystems register a callback once, and whichever exit path runs first
+calls :meth:`FlushRegistry.flush` — **exactly once per callback**, no
+matter how many paths fire (a SIGTERM during a SIGINT drain is real).
+
+Callbacks run in registration order (FIFO — a later sink may depend on
+an earlier one having flushed).  A failing callback is recorded, not
+raised: one broken sink must not stop the others from flushing on the
+way down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.lockwitness import make_lock
+
+__all__ = ["FlushRegistry"]
+
+Flusher = Callable[[], None]
+
+
+class FlushRegistry:
+    """An ordered, exactly-once set of shutdown flush callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = make_lock("FlushRegistry._lock")
+        self._flushers: List[Tuple[str, Flusher]] = []
+        self._flushed = False
+        self.errors: List[str] = []
+
+    def register(self, name: str, flusher: Flusher) -> None:
+        """Add a callback; raises if the registry already flushed.
+
+        Registering after the flush would silently never run — failing
+        loudly turns a wiring bug into a test failure instead.
+        """
+        with self._lock:
+            if self._flushed:
+                raise RuntimeError(
+                    f"cannot register flusher {name!r}: already flushed"
+                )
+            self._flushers.append((name, flusher))
+
+    @property
+    def flushed(self) -> bool:
+        with self._lock:
+            return self._flushed
+
+    def flush(self) -> int:
+        """Run every callback once, FIFO; subsequent calls are no-ops.
+
+        Returns the number of callbacks run on this call (0 on every
+        call after the first).  Exceptions from callbacks are collected
+        into :attr:`errors` as ``"name: message"`` strings.
+        """
+        with self._lock:
+            if self._flushed:
+                return 0
+            self._flushed = True
+            flushers = list(self._flushers)
+        ran = 0
+        for name, flusher in flushers:
+            try:
+                flusher()
+            except Exception as exc:  # hdqo: ignore[error-swallowing] — shutdown path; one broken sink must not stop the rest, failures surface via .errors
+                self.errors.append(f"{name}: {exc}")
+            ran += 1
+        return ran

@@ -1,0 +1,88 @@
+"""Per-template query insights: histograms, slow log, SLOs, top, report.
+
+The observability layer the drift/adaptation work needs: PR 2's metrics
+say *the cluster* got slower; this package says **which query template**
+got slower, **in which phase**, **when**, and keeps the evidence (slow
+captures, burn rates, mergeable distributions) to prove it.
+
+* :mod:`~repro.obs.insights.histogram` — mergeable log-bucketed
+  streaming histograms (fixed memory, exact bucket counts);
+* :mod:`~repro.obs.insights.slowlog` — bounded top-K latency outliers
+  per template plus every typed-error/degradation event;
+* :mod:`~repro.obs.insights.slo` — per-template SLO objectives with
+  fast/slow burn-rate windows on the injected monotonic clock;
+* :mod:`~repro.obs.insights.registry` — the per-process registry tying
+  them together, with exact cross-shard snapshot merging;
+* :mod:`~repro.obs.insights.top` — the live ``hdqo top`` terminal view;
+* :mod:`~repro.obs.insights.report` — the offline ``hdqo report`` span
+  analyzer with bench-baseline regression flags.
+
+Everything is **zero work-unit cost when disabled**: pass
+:data:`NULL_INSIGHTS` (the default everywhere) and every recording call
+is a constant-time no-op.
+"""
+
+from repro.obs.insights.histogram import (
+    DEFAULT_SCALE,
+    LATENCY_RANGE,
+    WORK_RANGE,
+    StreamingHistogram,
+    bucket_upper_bound,
+    merge_snapshots,
+    quantile_from_snapshot,
+)
+from repro.obs.insights.registry import (
+    NULL_INSIGHTS,
+    InsightsRegistry,
+    NullInsights,
+    merge_insights_snapshots,
+    render_insights_prometheus,
+)
+from repro.obs.insights.report import (
+    analyze_spans,
+    check_baseline,
+    load_span_records,
+    render_report,
+)
+from repro.obs.insights.slo import (
+    DEFAULT_SLO,
+    SLOPolicy,
+    SLOTracker,
+    merge_slo_snapshots,
+)
+from repro.obs.insights.slowlog import SlowQueryLog, merge_slow_entries
+from repro.obs.insights.top import (
+    load_snapshot_file,
+    publish_snapshot_file,
+    render_top,
+    run_top,
+)
+
+__all__ = [
+    "StreamingHistogram",
+    "merge_snapshots",
+    "quantile_from_snapshot",
+    "bucket_upper_bound",
+    "DEFAULT_SCALE",
+    "LATENCY_RANGE",
+    "WORK_RANGE",
+    "InsightsRegistry",
+    "NullInsights",
+    "NULL_INSIGHTS",
+    "merge_insights_snapshots",
+    "render_insights_prometheus",
+    "SlowQueryLog",
+    "merge_slow_entries",
+    "SLOPolicy",
+    "SLOTracker",
+    "DEFAULT_SLO",
+    "merge_slo_snapshots",
+    "analyze_spans",
+    "check_baseline",
+    "load_span_records",
+    "render_report",
+    "render_top",
+    "run_top",
+    "load_snapshot_file",
+    "publish_snapshot_file",
+]

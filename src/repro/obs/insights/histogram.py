@@ -1,0 +1,284 @@
+"""Mergeable log-bucketed streaming histograms (fixed memory, exact counts).
+
+The distribution summary behind every per-template insight: a value ``v``
+lands in bucket ``floor(scale * log2(v))`` — *deterministically*, a pure
+function of the value — so two histograms fed the same observations, in
+any order, on any number of processes, hold byte-identical bucket counts.
+That determinism is what makes cross-shard aggregation exact: merging is
+pointwise addition of sparse bucket counts, associative and commutative,
+with no resampling and no approximation error beyond the fixed relative
+bucket width (``2^(1/scale) - 1``, ~9 % at the default scale of 8).
+
+Memory is fixed: bucket indexes clamp to ``[lo, hi]`` (values outside the
+range count into the boundary buckets), so a histogram never holds more
+than ``hi - lo + 2`` counters regardless of traffic volume.
+
+Snapshots are plain dicts of primitives — pickle- and JSON-safe — and the
+module-level :func:`merge_snapshots` / :func:`quantile_from_snapshot`
+operate on the snapshot shape directly, so shard workers ship snapshots
+across the process boundary and the router merges them without ever
+rebuilding live objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.lockwitness import make_lock
+
+__all__ = [
+    "StreamingHistogram",
+    "Snapshot",
+    "merge_snapshots",
+    "quantile_from_snapshot",
+    "bucket_upper_bound",
+    "DEFAULT_SCALE",
+    "LATENCY_RANGE",
+    "WORK_RANGE",
+]
+
+Number = Union[int, float]
+Snapshot = Dict[str, object]
+
+#: Buckets per doubling of the value; 8 gives ~9 % relative bucket width.
+DEFAULT_SCALE = 8
+
+#: Index clamp for seconds-scale latencies: ~1 µs .. ~4000 s at scale 8.
+LATENCY_RANGE: Tuple[int, int] = (-160, 96)
+
+#: Index clamp for work-unit counts: 1 .. ~10^12 units at scale 8.
+WORK_RANGE: Tuple[int, int] = (0, 320)
+
+#: Index reserved for non-positive observations (log undefined there).
+_ZERO_INDEX_OFFSET = 1
+
+
+def _bucket_index(value: float, scale: int, lo: int, hi: int) -> int:
+    """The clamped bucket index of ``value`` — pure and deterministic."""
+    if value <= 0.0:
+        return lo - _ZERO_INDEX_OFFSET
+    index = math.floor(scale * math.log2(value))
+    if index < lo:
+        return lo
+    if index > hi:
+        return hi
+    return index
+
+
+def bucket_upper_bound(index: int, scale: int) -> float:
+    """The (exclusive) upper value boundary of bucket ``index``."""
+    return round(2.0 ** ((index + 1) / scale), 9)
+
+
+class StreamingHistogram:
+    """A thread-safe log-bucketed histogram with exact sparse counts.
+
+    Args:
+        scale: buckets per doubling (resolution; must match to merge).
+        index_range: ``(lo, hi)`` bucket-index clamp bounding memory.
+    """
+
+    def __init__(
+        self,
+        scale: int = DEFAULT_SCALE,
+        index_range: Tuple[int, int] = LATENCY_RANGE,
+    ) -> None:
+        if scale < 1:
+            raise ValueError("histogram scale must be >= 1")
+        lo, hi = index_range
+        if lo > hi:
+            raise ValueError(f"invalid index range: {index_range}")
+        self.scale = scale
+        self.lo = lo
+        self.hi = hi
+        self._lock = make_lock("StreamingHistogram._lock")
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        # The running total is an exact fixed-point integer (nano units):
+        # integer addition is associative, so a merged total is
+        # byte-identical to a single-process run — float accumulation
+        # differs in the last ulp depending on summation order.
+        self._total_ns = 0
+        self._minimum: Optional[float] = None
+        self._maximum: Optional[float] = None
+
+    # -- recording -------------------------------------------------------
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        index = _bucket_index(v, self.scale, self.lo, self.hi)
+        with self._lock:
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+            self._count += 1
+            self._total_ns += round(v * 1e9)
+            if self._minimum is None or v < self._minimum:
+                self._minimum = v
+            if self._maximum is None or v > self._maximum:
+                self._maximum = v
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total_ns / 1e9
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding the q-th observation.
+
+        Deterministic given the bucket counts, so a merged histogram
+        reports exactly the quantile a single-process run would.
+        Returns 0.0 on an empty histogram.
+        """
+        return quantile_from_snapshot(self.snapshot(), q)
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram (same scale/range) into this one."""
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: Mapping[str, object]) -> None:
+        """Fold a snapshot dict (same scale/range) into this histogram."""
+        _check_compatible(self.scale, self.lo, self.hi, snap)
+        buckets = snap["buckets"]
+        assert isinstance(buckets, Mapping)
+        count = snap["count"]
+        assert isinstance(count, int)
+        total_ns = snap.get("total_ns")
+        if not isinstance(total_ns, int):
+            total = snap.get("total")
+            assert isinstance(total, (int, float))
+            total_ns = round(float(total) * 1e9)
+        minimum = snap.get("min")
+        maximum = snap.get("max")
+        with self._lock:
+            for key, n in buckets.items():
+                assert isinstance(n, int)
+                index = int(key)
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._count += count
+            self._total_ns += total_ns
+            if isinstance(minimum, (int, float)) and (
+                self._minimum is None or minimum < self._minimum
+            ):
+                self._minimum = float(minimum)
+            if isinstance(maximum, (int, float)) and (
+                self._maximum is None or maximum > self._maximum
+            ):
+                self._maximum = float(maximum)
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """A picklable/JSON-safe dict; the wire format of this histogram."""
+        with self._lock:
+            return {
+                "scale": self.scale,
+                "lo": self.lo,
+                "hi": self.hi,
+                "count": self._count,
+                "total": round(self._total_ns / 1e9, 9),
+                "total_ns": self._total_ns,
+                "min": (
+                    round(self._minimum, 9)
+                    if self._minimum is not None
+                    else None
+                ),
+                "max": (
+                    round(self._maximum, 9)
+                    if self._maximum is not None
+                    else None
+                ),
+                "buckets": {
+                    str(index): self._buckets[index]
+                    for index in sorted(self._buckets)
+                },
+            }
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, object]) -> "StreamingHistogram":
+        scale, lo, hi = snap["scale"], snap["lo"], snap["hi"]
+        assert (
+            isinstance(scale, int) and isinstance(lo, int) and isinstance(hi, int)
+        )
+        histogram = cls(scale=scale, index_range=(lo, hi))
+        histogram.merge_snapshot(snap)
+        return histogram
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"StreamingHistogram(scale={self.scale}, "
+                f"count={self._count}, buckets={len(self._buckets)})"
+            )
+
+
+def _check_compatible(
+    scale: int, lo: int, hi: int, snap: Mapping[str, object]
+) -> None:
+    if snap.get("scale") != scale or snap.get("lo") != lo or snap.get("hi") != hi:
+        raise ValueError(
+            f"cannot merge histograms with different geometry: "
+            f"scale/lo/hi ({scale},{lo},{hi}) vs "
+            f"({snap.get('scale')},{snap.get('lo')},{snap.get('hi')})"
+        )
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, object]]) -> Snapshot:
+    """One merged snapshot from N snapshot dicts (associative, exact).
+
+    The shard-aggregation primitive: bucket counts add pointwise, totals
+    add, extrema take min/max over populated inputs.  Raises on geometry
+    mismatches (shards run identical code, so a mismatch is a bug).
+    """
+    present = [s for s in snapshots if s]
+    if not present:
+        return {}
+    first = present[0]
+    scale, lo, hi = first["scale"], first["lo"], first["hi"]
+    assert isinstance(scale, int) and isinstance(lo, int) and isinstance(hi, int)
+    merged = StreamingHistogram(scale=scale, index_range=(lo, hi))
+    for snap in present:
+        merged.merge_snapshot(snap)
+    return merged.snapshot()
+
+
+def quantile_from_snapshot(snap: Mapping[str, object], q: float) -> float:
+    """The q-th quantile (bucket upper bound) of a snapshot dict.
+
+    Nearest-rank over the bucket counts; exact-value fast paths: the
+    minimum for ranks in the first bucket region is not tracked per
+    bucket, so the result is always the bucket's upper boundary — a
+    deterministic, merge-stable over-estimate within one bucket width.
+    Returns 0.0 on an empty snapshot.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not snap:
+        return 0.0
+    count = snap.get("count")
+    buckets = snap.get("buckets")
+    scale = snap.get("scale")
+    if not isinstance(count, int) or count <= 0:
+        return 0.0
+    assert isinstance(buckets, Mapping) and isinstance(scale, int)
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    indexes: List[int] = sorted(int(key) for key in buckets)
+    for index in indexes:
+        n = buckets[str(index)]
+        assert isinstance(n, int)
+        seen += n
+        if seen >= rank:
+            lo = snap.get("lo")
+            if isinstance(lo, int) and index < lo:
+                return 0.0  # the non-positive-values bucket
+            return bucket_upper_bound(index, scale)
+    return bucket_upper_bound(indexes[-1], scale) if indexes else 0.0

@@ -1,0 +1,182 @@
+"""Per-template SLO objectives with fast/slow burn-rate windows.
+
+An :class:`SLOPolicy` states the objective — "``objective`` of queries
+finish under ``threshold_seconds`` without a typed error" — and an
+:class:`SLOTracker` counts each query as *good* or *bad* against it,
+maintaining two sliding windows in the multiwindow-burn-rate style:
+
+* the **fast** window (default 60 s) catches a sudden cliff — a misfired
+  soft-width choice, a stats-drift re-plan gone wrong — within seconds;
+* the **slow** window (default 600 s) confirms a sustained burn and
+  filters one-off blips.
+
+``burn rate = (bad / total) / (1 - objective)``: 1.0 means the error
+budget is being spent exactly at the rate that exhausts it by the end of
+the SLO period; a fast-window burn ≫ 1 with a slow-window burn > 1 is
+the classic page condition.
+
+Time comes **only** from the injected monotonic clock (default
+:func:`time.monotonic`) — no wall clock anywhere, matching the repo's
+no-wall-clock rule — and windows are bucketed at 1 s granularity into a
+fixed ring, so memory is constant regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.lockwitness import make_lock
+
+__all__ = ["SLOPolicy", "SLOTracker", "DEFAULT_SLO", "merge_slo_snapshots"]
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One latency/error objective for a template population.
+
+    Attributes:
+        threshold_seconds: a query at or under this latency is *good*.
+        objective: the target good fraction (e.g. 0.99 → a 1 % budget).
+        fast_window_seconds: the fast burn-rate window.
+        slow_window_seconds: the slow burn-rate window.
+    """
+
+    threshold_seconds: float = 0.5
+    objective: float = 0.99
+    fast_window_seconds: float = 60.0
+    slow_window_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("SLO objective must be strictly between 0 and 1")
+        if self.threshold_seconds <= 0:
+            raise ValueError("SLO threshold must be positive")
+        if not 0 < self.fast_window_seconds <= self.slow_window_seconds:
+            raise ValueError(
+                "windows must satisfy 0 < fast <= slow"
+            )
+
+
+DEFAULT_SLO = SLOPolicy()
+"""99 % under 500 ms, judged over 60 s / 600 s windows."""
+
+
+class _Window:
+    """A fixed ring of per-second (good, bad) buckets."""
+
+    def __init__(self, span_seconds: float) -> None:
+        self.size = max(1, int(span_seconds))
+        self.good = [0] * self.size
+        self.bad = [0] * self.size
+        self.stamps = [-1] * self.size  # absolute second each slot holds
+
+    def add(self, second: int, good: int, bad: int) -> None:
+        slot = second % self.size
+        if self.stamps[slot] != second:
+            self.stamps[slot] = second
+            self.good[slot] = 0
+            self.bad[slot] = 0
+        self.good[slot] += good
+        self.bad[slot] += bad
+
+    def totals(self, now_second: int) -> Tuple[int, int]:
+        oldest = now_second - self.size + 1
+        good = bad = 0
+        for slot in range(self.size):
+            if self.stamps[slot] >= oldest:
+                good += self.good[slot]
+                bad += self.bad[slot]
+        return good, bad
+
+
+class SLOTracker:
+    """Counts good/bad outcomes for one template against one policy.
+
+    Thread-safe; all timestamps come from the injected monotonic clock.
+    Lifetime totals never reset; windowed burn rates age out by bucket.
+    """
+
+    def __init__(
+        self,
+        policy: SLOPolicy = DEFAULT_SLO,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = make_lock("SLOTracker._lock")
+        self._good_total = 0
+        self._bad_total = 0
+        self._fast = _Window(policy.fast_window_seconds)
+        self._slow = _Window(policy.slow_window_seconds)
+
+    def record(self, seconds: float, ok: bool) -> None:
+        """One query outcome: latency + did it avoid a typed error."""
+        good = ok and seconds <= self.policy.threshold_seconds
+        second = int(self._clock())
+        with self._lock:
+            if good:
+                self._good_total += 1
+            else:
+                self._bad_total += 1
+            self._fast.add(second, int(good), int(not good))
+            self._slow.add(second, int(good), int(not good))
+
+    def _burn(self, good: int, bad: int) -> float:
+        total = good + bad
+        if not total:
+            return 0.0
+        budget = 1.0 - self.policy.objective
+        return round((bad / total) / budget, 6)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Lifetime totals + windowed burn rates, plain data."""
+        second = int(self._clock())
+        with self._lock:
+            fast_good, fast_bad = self._fast.totals(second)
+            slow_good, slow_bad = self._slow.totals(second)
+            good_total, bad_total = self._good_total, self._bad_total
+        return {
+            "threshold_seconds": self.policy.threshold_seconds,
+            "objective": self.policy.objective,
+            "good": good_total,
+            "bad": bad_total,
+            "fast_burn_rate": self._burn(fast_good, fast_bad),
+            "slow_burn_rate": self._burn(slow_good, slow_bad),
+            "fast_window_seconds": self.policy.fast_window_seconds,
+            "slow_window_seconds": self.policy.slow_window_seconds,
+        }
+
+
+def merge_slo_snapshots(
+    snapshots: List[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Cluster view of one template's SLO from per-shard snapshots.
+
+    Lifetime good/bad counts add exactly.  Windowed burn rates cannot be
+    merged from bucket data (monotonic clocks do not compare across
+    processes), so the merged burn rates are the **worst shard's** —
+    conservative, and the right paging signal: a template burning on any
+    shard is burning.
+    """
+    present = [s for s in snapshots if s]
+    if not present:
+        return None
+    first = present[0]
+    merged: Dict[str, object] = dict(first)
+    merged["good"] = sum(int(_num(s.get("good"))) for s in present)
+    merged["bad"] = sum(int(_num(s.get("bad"))) for s in present)
+    merged["fast_burn_rate"] = max(
+        _num(s.get("fast_burn_rate")) for s in present
+    )
+    merged["slow_burn_rate"] = max(
+        _num(s.get("slow_burn_rate")) for s in present
+    )
+    return merged
+
+
+def _num(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0

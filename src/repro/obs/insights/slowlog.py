@@ -1,0 +1,144 @@
+"""A bounded slow-query log: top-K latency outliers plus every event.
+
+Two retention policies share one structure:
+
+* **outliers** — per template, the K slowest queries by wall-clock
+  latency (a min-heap on latency, so admission is O(log K) and the
+  *decision* — :meth:`SlowQueryLog.qualifies` — is an O(1) threshold
+  check, letting callers defer expensive capture work (EXPLAIN text,
+  span subtrees) until a query is known to qualify);
+* **events** — every typed-error and degradation event, in arrival
+  order, bounded by ``max_events`` (oldest dropped first), because a
+  regression's first symptom is usually an error burst, not a latency
+  tail.
+
+Entries are plain dicts of primitives (pickle-/JSON-safe), so snapshots
+cross the shard process boundary unchanged and merge by re-ranking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.lockwitness import make_lock
+
+__all__ = ["SlowQueryLog", "merge_slow_entries"]
+
+Entry = Dict[str, object]
+
+
+class SlowQueryLog:
+    """Bounded per-template top-K outliers + a bounded event ring.
+
+    Args:
+        top_k: slowest entries retained per template.
+        max_events: error/degradation events retained (newest win).
+    """
+
+    def __init__(self, top_k: int = 8, max_events: int = 256) -> None:
+        if top_k < 1:
+            raise ValueError("slow log needs top_k >= 1")
+        self.top_k = top_k
+        self.max_events = max_events
+        self._lock = make_lock("SlowQueryLog._lock")
+        # template -> min-heap of (seconds, tiebreak, entry)
+        self._outliers: Dict[str, List[Tuple[float, int, Entry]]] = {}
+        self._events: Deque[Entry] = deque(maxlen=max_events)
+        self._tiebreak = itertools.count()
+
+    # -- outliers --------------------------------------------------------
+
+    def qualifies(self, template: str, seconds: float) -> bool:
+        """Would a query this slow enter the template's top-K? (cheap)"""
+        with self._lock:
+            heap = self._outliers.get(template)
+            if heap is None or len(heap) < self.top_k:
+                return True
+            return seconds > heap[0][0]
+
+    def offer(
+        self,
+        template: str,
+        seconds: float,
+        payload: Callable[[], Entry],
+    ) -> bool:
+        """Admit a query if it ranks; ``payload`` runs only on admission.
+
+        Returns True when the entry was retained.  The payload callable
+        builds the (potentially expensive) capture — plan text, span
+        subtree — so queries that do not rank cost nothing beyond the
+        threshold check.
+        """
+        if not self.qualifies(template, seconds):
+            return False
+        entry = dict(payload())
+        entry["seconds"] = round(seconds, 9)
+        entry["template"] = template
+        with self._lock:
+            heap = self._outliers.setdefault(template, [])
+            item = (seconds, next(self._tiebreak), entry)
+            if len(heap) < self.top_k:
+                heapq.heappush(heap, item)
+                return True
+            if seconds > heap[0][0]:
+                heapq.heapreplace(heap, item)
+                return True
+        return False
+
+    # -- events ----------------------------------------------------------
+
+    def record_event(
+        self,
+        template: str,
+        kind: str,
+        detail: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """One typed-error or degradation event (bounded, newest win)."""
+        entry: Entry = {"template": template, "kind": kind}
+        if detail:
+            entry.update(detail)
+        with self._lock:
+            self._events.append(entry)
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """``{"outliers": {template: [entry...]}, "events": [entry...]}``.
+
+        Outliers are sorted slowest-first; everything is plain data.
+        """
+        with self._lock:
+            outliers = {
+                template: [
+                    dict(entry)
+                    for _, _, entry in sorted(
+                        heap, key=lambda item: (-item[0], item[1])
+                    )
+                ]
+                for template, heap in sorted(self._outliers.items())
+            }
+            events = [dict(entry) for entry in self._events]
+        return {"outliers": outliers, "events": events}
+
+
+def merge_slow_entries(
+    per_source: List[List[Entry]], top_k: int
+) -> List[Entry]:
+    """Merge per-shard outlier lists for one template: re-rank, truncate.
+
+    Entries carry their own ``seconds``; the merged list is the global
+    top-K, slowest first — exactly what a single process would retain.
+    """
+    merged: List[Entry] = [
+        entry for entries in per_source for entry in entries
+    ]
+
+    def latency(entry: Entry) -> float:
+        seconds = entry.get("seconds", 0.0)
+        return float(seconds) if isinstance(seconds, (int, float)) else 0.0
+
+    merged.sort(key=latency, reverse=True)
+    return merged[:top_k]

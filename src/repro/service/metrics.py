@@ -20,10 +20,15 @@ services — and tests — never share counters.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.analysis.lockwitness import make_lock
+from repro.obs.insights.histogram import (
+    LATENCY_RANGE,
+    StreamingHistogram,
+    quantile_from_snapshot,
+)
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 
@@ -33,12 +38,21 @@ class LatencyStat:
 
     ``minimum`` is ``None`` until the first observation — never ``inf`` —
     so merging summaries and exporting snapshots to JSON is always safe.
+    Quantiles come from an embedded log-bucketed
+    :class:`~repro.obs.insights.histogram.StreamingHistogram`, so they
+    stay exact under :meth:`merge` (pool-worker / cross-shard
+    aggregation) instead of drifting like sampled percentiles would.
     """
 
     count: int = 0
     total: float = 0.0
     minimum: Optional[float] = None
     maximum: float = 0.0
+    hdr: StreamingHistogram = field(
+        default_factory=lambda: StreamingHistogram(index_range=LATENCY_RANGE),
+        repr=False,
+        compare=False,
+    )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -47,10 +61,15 @@ class LatencyStat:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.hdr.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (log-bucket upper bound) of the stream."""
+        return self.hdr.quantile(q)
 
     def merge(self, other: "LatencyStat") -> None:
         """Fold another summary into this one (pool-worker aggregation)."""
@@ -62,14 +81,22 @@ class LatencyStat:
             self.minimum = other.minimum
         if other.maximum > self.maximum:
             self.maximum = other.maximum
+        self.hdr.merge(other.hdr)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
+        hdr = self.hdr.snapshot()
         return {
             "count": self.count,
             "total": round(self.total, 6),
             "mean": round(self.mean, 6),
             "min": round(self.minimum, 6) if self.minimum is not None else 0.0,
             "max": round(self.maximum, 6),
+            "p50": quantile_from_snapshot(hdr, 0.50),
+            "p90": quantile_from_snapshot(hdr, 0.90),
+            "p99": quantile_from_snapshot(hdr, 0.99),
+            # The histogram rides along so cross-shard merges recompute
+            # the quantiles from merged buckets instead of summing them.
+            "hdr": hdr,
         }
 
 
@@ -116,6 +143,10 @@ class ServiceMetrics:
             buckets=DEFAULT_LATENCY_BUCKETS,
             help="Per-query wall-clock latency",
         )
+        # Fine-grained log-bucketed twin of the fixed-bucket histogram:
+        # the source of the p50/p90/p99 fields and of exact cross-shard
+        # quantile merging (the "hdr" sub-dict in snapshots).
+        self._latency_hdr = StreamingHistogram(index_range=LATENCY_RANGE)
         self._plans_built = reg.counter(
             "service_plans_built_total", help="Decompositions built fresh"
         )
@@ -231,6 +262,7 @@ class ServiceMetrics:
                 self._dnf.inc()
             self._work_units.inc(work)
             self._latency.observe(seconds)
+            self._latency_hdr.observe(seconds)
 
     def record_error(self) -> None:
         with self._lock:
@@ -306,6 +338,12 @@ class ServiceMetrics:
         """A nested dict of every counter; pass the plan cache's snapshot
         to merge it under the ``"cache"`` key."""
         with self._lock:
+            hdr = self._latency_hdr.snapshot()
+            latency = dict(self._latency.snapshot())
+            latency["p50"] = quantile_from_snapshot(hdr, 0.50)
+            latency["p90"] = quantile_from_snapshot(hdr, 0.90)
+            latency["p99"] = quantile_from_snapshot(hdr, 0.99)
+            latency["hdr"] = hdr
             data: Dict[str, object] = {
                 "queries": {
                     "submitted": self._queries.snapshot(),
@@ -315,7 +353,7 @@ class ServiceMetrics:
                     "rejected": self._rejected.snapshot(),
                     "work_units": self._work_units.snapshot(),
                 },
-                "latency_seconds": self._latency.snapshot(),
+                "latency_seconds": latency,
                 "planning": {
                     "built": self._plans_built.snapshot(),
                     "cache_hits": self._plans_cached.snapshot(),

@@ -30,6 +30,11 @@ from concurrent.futures import Future
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.engine.dbms import DBMSResult, SimulatedDBMS
+from repro.obs.insights.registry import (
+    NULL_INSIGHTS,
+    InsightsRegistry,
+    NullInsights,
+)
 from repro.errors import (
     DeadlineExceeded,
     MemoryBudgetExceeded,
@@ -89,6 +94,11 @@ class QueryService:
             to serial, rows and order); ``0``/``1`` keeps the serial
             evaluator.  Orthogonal to ``workers``, which bounds how many
             *queries* run concurrently.
+        insights: a per-template
+            :class:`~repro.obs.insights.registry.InsightsRegistry`
+            receiving phase histograms, SLO outcomes, and slow-query
+            captures from the optimizer handler; None (the default)
+            installs the zero-cost :data:`NULL_INSIGHTS` no-op.
     """
 
     def __init__(
@@ -109,6 +119,7 @@ class QueryService:
         fault_injector: Optional[FaultInjector] = None,
         breaker: Optional[CircuitBreaker] = None,
         parallel_workers: int = 0,
+        insights: "Optional[Union[InsightsRegistry, NullInsights]]" = None,
     ):
         self.dbms = dbms
         self.work_budget = work_budget
@@ -124,6 +135,9 @@ class QueryService:
             capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
         )
         self.parallel_workers = parallel_workers
+        #: Per-template insights sink; the disabled NULL_INSIGHTS (every
+        #: call a constant no-op, zero work-unit cost) unless one is given.
+        self.insights = insights if insights is not None else NULL_INSIGHTS
         self._handler = install_structural_optimizer(
             dbms,
             max_width=max_width,
@@ -133,6 +147,7 @@ class QueryService:
             metrics=self.metrics,
             breaker=self.breaker,
             parallel_workers=parallel_workers,
+            insights=self.insights,
         )
         self.pool = ExecutorPool(
             workers=workers, queue_capacity=queue_capacity, name="hdqo-serve"
@@ -318,6 +333,8 @@ class QueryService:
         """Full serving snapshot: metrics + plan cache + pool."""
         data = self.metrics.snapshot(cache=self.plan_cache.snapshot())
         data["pool"] = self.pool.snapshot()
+        if self.insights.enabled:
+            data["insights"] = self.insights.snapshot()
         return data
 
     def drain(self, grace_seconds: Optional[float] = None) -> bool:

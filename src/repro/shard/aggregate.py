@@ -22,6 +22,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.obs.insights.histogram import (
+    merge_snapshots as merge_hdr_snapshots,
+)
+from repro.obs.insights.histogram import quantile_from_snapshot
+from repro.obs.insights.registry import merge_insights_snapshots
+
 #: Span-id block size per shard; far above any tracer retention cap.
 SPAN_ID_STRIDE = 10_000_000
 
@@ -44,6 +50,18 @@ def _merge_level(dicts: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                 seen.append(key)
     for key in seen:
         values = [d[key] for d in dicts if key in d]
+        if key == "insights" and all(isinstance(v, Mapping) for v in values):
+            # Per-template insight snapshots have their own exact merge
+            # (histogram bucket addition, SLO window max, slow-log
+            # re-ranking) — the generic pointwise sum would corrupt them.
+            merged[key] = merge_insights_snapshots(values)
+            continue
+        if key == "hdr" and all(isinstance(v, Mapping) for v in values):
+            # Log-bucketed histogram wire format: geometry fields
+            # (scale/lo/hi) must match, not sum, and sibling quantiles
+            # are recomputed from the merged buckets below.
+            merged[key] = merge_hdr_snapshots(values)
+            continue
         if all(isinstance(v, Mapping) for v in values):
             merged[key] = _merge_level(values)
         elif all(_is_number(v) for v in values):
@@ -74,6 +92,14 @@ def _merge_level(dicts: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     for key in list(merged):
         if isinstance(merged[key], float):
             merged[key] = round(merged[key], 6)
+    # Quantiles are bucket boundaries of the merged histogram, never sums
+    # — recomputed last (after rounding) so they stay byte-identical to a
+    # single-process run's snapshot.
+    hdr = merged.get("hdr")
+    if isinstance(hdr, Mapping):
+        for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            if name in merged:
+                merged[name] = quantile_from_snapshot(hdr, q)
     return merged
 
 

@@ -74,6 +74,11 @@ class ShardConfig:
         trace: run a per-shard tracer; span records are shipped back on
             exit for cross-shard merging.
         trace_max_spans: the shard tracer's retention cap.
+        insights: run a per-shard
+            :class:`~repro.obs.insights.registry.InsightsRegistry`; its
+            snapshot rides inside the service snapshot (the ``insights``
+            key) and merges exactly in
+            :func:`~repro.shard.aggregate.merge_metric_snapshots`.
     """
 
     database: Database
@@ -94,6 +99,7 @@ class ShardConfig:
     parallel_workers: int = 0
     trace: bool = False
     trace_max_spans: int = 100_000
+    insights: bool = False
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -164,6 +170,11 @@ def shard_worker_main(
         if config.fault_spec
         else None
     )
+    insights = None
+    if config.insights:
+        from repro.obs.insights.registry import InsightsRegistry
+
+        insights = InsightsRegistry()
     profile = config.profile if config.profile is not None else COMMDB_PROFILE
     service = QueryService(
         SimulatedDBMS(config.database, profile),
@@ -180,6 +191,7 @@ def shard_worker_main(
         max_intermediate_rows=config.max_intermediate_rows,
         fault_injector=injector,
         parallel_workers=config.parallel_workers,
+        insights=insights,
     )
     inflight = _InflightTable()
 

@@ -1,0 +1,987 @@
+"""Query insights: histograms, slow log, SLO, registry, top, report.
+
+The contract under test is the PR's acceptance bar:
+
+* histogram merging is **exact** — associative, commutative, and
+  bucket-identical to a single process fed the same observations — so a
+  sharded cluster's merged per-template view is byte-identical to the
+  view one process would have held;
+* the disabled path (:data:`NULL_INSIGHTS`) costs **zero work units**:
+  a service with insights off does exactly the work of one that never
+  heard of them;
+* the sharded serving path carries the per-shard registries through the
+  existing snapshot merge, and the deterministic work histograms come
+  out byte-identical to a single-process run of the same workload;
+* ``hdqo report`` flags a seeded regression against the committed
+  ``BENCH_serving.json`` trajectory point and passes clean on an honest
+  trace.
+"""
+
+import io
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+from repro.obs.flush import FlushRegistry
+from repro.obs.insights import (
+    DEFAULT_SCALE,
+    LATENCY_RANGE,
+    NULL_INSIGHTS,
+    WORK_RANGE,
+    InsightsRegistry,
+    SLOPolicy,
+    SLOTracker,
+    SlowQueryLog,
+    StreamingHistogram,
+    analyze_spans,
+    bucket_upper_bound,
+    check_baseline,
+    load_snapshot_file,
+    load_span_records,
+    merge_insights_snapshots,
+    merge_slo_snapshots,
+    merge_slow_entries,
+    merge_snapshots,
+    publish_snapshot_file,
+    quantile_from_snapshot,
+    render_insights_prometheus,
+    render_report,
+    render_top,
+    run_top,
+)
+from repro.service.metrics import LatencyStat, ServiceMetrics
+from repro.service.server import QueryService
+from repro.shard.aggregate import merge_metric_snapshots
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# Streaming histogram
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingHistogram:
+    def test_bucketing_is_deterministic_and_clamped(self):
+        h = StreamingHistogram(index_range=(-8, 8))
+        h.observe(0.0)       # non-positive -> reserved bucket below lo
+        h.observe(-3.0)
+        h.observe(1e-9)      # far below range -> clamps to lo
+        h.observe(1e9)       # far above range -> clamps to hi
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == {"-9": 2, "-8": 1, "8": 1}
+
+    def test_quantile_is_a_bucket_upper_bound(self):
+        h = StreamingHistogram()
+        for v in (0.010, 0.011, 0.012, 0.500):
+            h.observe(v)
+        p50 = h.quantile(0.50)
+        # The bound encloses the observed median within one bucket width.
+        assert 0.011 <= p50 <= 0.011 * 2 ** (1 / DEFAULT_SCALE)
+        snap = h.snapshot()
+        indexes = [int(k) for k in snap["buckets"]]
+        assert p50 in {bucket_upper_bound(i, DEFAULT_SCALE) for i in indexes}
+
+    def test_empty_histogram_quantile_and_totals(self):
+        h = StreamingHistogram()
+        assert h.quantile(0.99) == 0.0
+        assert h.count == 0
+        assert h.total == 0.0
+        snap = h.snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_quantile_of_nonpositive_bucket_is_zero(self):
+        h = StreamingHistogram()
+        h.observe(0)
+        assert h.quantile(0.5) == 0.0
+
+    def test_geometry_mismatch_refuses_to_merge(self):
+        latency = StreamingHistogram(index_range=LATENCY_RANGE)
+        work = StreamingHistogram(index_range=WORK_RANGE)
+        with pytest.raises(ValueError, match="geometry"):
+            latency.merge(work)
+        with pytest.raises(ValueError):
+            merge_snapshots([latency.snapshot(), work.snapshot()])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(scale=0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(index_range=(5, 4))
+        with pytest.raises(ValueError):
+            quantile_from_snapshot({}, 1.5)
+
+    def test_snapshot_round_trip(self):
+        h = StreamingHistogram()
+        for v in (0.001, 0.25, 7.5):
+            h.observe(v)
+        rebuilt = StreamingHistogram.from_snapshot(h.snapshot())
+        assert rebuilt.snapshot() == h.snapshot()
+
+    def test_merge_empty_inputs(self):
+        assert merge_snapshots([]) == {}
+        assert merge_snapshots([{}, {}]) == {}
+
+
+observations = st.lists(
+    st.floats(
+        min_value=1e-6, max_value=4000.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestMergeIsExact:
+    """The cross-shard law: merged snapshots == one process's snapshot."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(parts=st.lists(observations, min_size=1, max_size=5))
+    def test_sharded_equals_single_process(self, parts):
+        single = StreamingHistogram()
+        shards = []
+        for part in parts:
+            shard = StreamingHistogram()
+            for v in part:
+                single.observe(v)
+                shard.observe(v)
+            shards.append(shard.snapshot())
+        merged = merge_snapshots(shards)
+        expected = single.snapshot()
+        if not single.count:
+            # All-empty snapshots merge to the empty sentinel.
+            assert merged == {} or merged["count"] == 0
+            return
+        assert merged == expected  # byte-identical: buckets, totals, extrema
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        parts=st.lists(observations, min_size=2, max_size=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_commutative_and_associative(self, parts, seed):
+        snaps = []
+        for part in parts:
+            h = StreamingHistogram()
+            for v in part:
+                h.observe(v)
+            snaps.append(h.snapshot())
+        flat = merge_snapshots(snaps)
+        shuffled = list(snaps)
+        random.Random(seed).shuffle(shuffled)
+        assert merge_snapshots(shuffled) == flat
+        # Regrouping: merge a prefix first, then fold in the rest.
+        split = max(1, len(snaps) // 2)
+        regrouped = merge_snapshots(
+            [merge_snapshots(snaps[:split]), merge_snapshots(snaps[split:])]
+        )
+        assert regrouped == flat
+
+
+# ---------------------------------------------------------------------------
+# Slow-query log
+# ---------------------------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_retains_top_k_slowest(self):
+        log = SlowQueryLog(top_k=2)
+        for ms in (10, 50, 30, 70, 20):
+            log.offer("t", ms / 1000.0, lambda ms=ms: {"plan": f"p{ms}"})
+        entries = log.snapshot()["outliers"]["t"]
+        assert [e["seconds"] for e in entries] == [0.07, 0.05]
+        assert entries[0]["plan"] == "p70"
+
+    def test_payload_runs_only_on_admission(self):
+        log = SlowQueryLog(top_k=1)
+        calls = []
+
+        def capture(tag):
+            def build():
+                calls.append(tag)
+                return {"tag": tag}
+            return build
+
+        assert log.offer("t", 1.0, capture("fast-enough"))
+        assert not log.qualifies("t", 0.5)
+        assert not log.offer("t", 0.5, capture("too-fast"))
+        assert calls == ["fast-enough"]  # the losing capture never built
+
+    def test_events_are_bounded_newest_win(self):
+        log = SlowQueryLog(top_k=1, max_events=3)
+        for i in range(5):
+            log.record_event("t", f"kind{i}", {"n": i})
+        events = log.snapshot()["events"]
+        assert [e["kind"] for e in events] == ["kind2", "kind3", "kind4"]
+
+    def test_rejects_degenerate_top_k(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(top_k=0)
+
+    def test_merge_rebuilds_global_top_k(self):
+        shard_a = [{"seconds": 0.9}, {"seconds": 0.1}]
+        shard_b = [{"seconds": 0.5}, {"seconds": 0.7}]
+        merged = merge_slow_entries([shard_a, shard_b], top_k=3)
+        assert [e["seconds"] for e in merged] == [0.9, 0.7, 0.5]
+
+
+# ---------------------------------------------------------------------------
+# SLO burn rates (fake clock only — no wall time in this test)
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSLOTracker:
+    def test_burn_rate_math(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            SLOPolicy(threshold_seconds=0.1, objective=0.99), clock=clock
+        )
+        for _ in range(99):
+            tracker.record(0.05, True)
+        tracker.record(0.05, False)  # typed error -> bad
+        snap = tracker.snapshot()
+        assert snap["good"] == 99 and snap["bad"] == 1
+        # 1% bad on a 1% budget: burning exactly at rate 1.
+        assert snap["fast_burn_rate"] == pytest.approx(1.0)
+
+    def test_slow_query_is_bad_even_when_ok(self):
+        tracker = SLOTracker(
+            SLOPolicy(threshold_seconds=0.1), clock=FakeClock()
+        )
+        tracker.record(0.5, True)  # no error, but over threshold
+        assert tracker.snapshot()["bad"] == 1
+
+    def test_windows_age_out_but_lifetime_totals_do_not(self):
+        clock = FakeClock()
+        policy = SLOPolicy(
+            threshold_seconds=0.1,
+            fast_window_seconds=10.0,
+            slow_window_seconds=60.0,
+        )
+        tracker = SLOTracker(policy, clock=clock)
+        tracker.record(9.0, False)
+        assert tracker.snapshot()["fast_burn_rate"] > 0
+        clock.now += 30.0  # past the fast window, inside the slow one
+        snap = tracker.snapshot()
+        assert snap["fast_burn_rate"] == 0.0
+        assert snap["slow_burn_rate"] > 0
+        assert snap["bad"] == 1  # lifetime totals never reset
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(threshold_seconds=0.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(fast_window_seconds=600.0, slow_window_seconds=60.0)
+
+    def test_merge_takes_worst_shard_burn(self):
+        clock = FakeClock()
+        quiet = SLOTracker(clock=clock)
+        burning = SLOTracker(clock=clock)
+        quiet.record(0.01, True)
+        burning.record(9.0, False)
+        merged = merge_slo_snapshots([quiet.snapshot(), burning.snapshot()])
+        assert merged["good"] == 1 and merged["bad"] == 1
+        assert merged["fast_burn_rate"] == burning.snapshot()["fast_burn_rate"]
+        assert merge_slo_snapshots([]) is None
+        assert merge_slo_snapshots([{}, {}]) is None
+
+
+# ---------------------------------------------------------------------------
+# Flush registry
+# ---------------------------------------------------------------------------
+
+
+class TestFlushRegistry:
+    def test_flush_runs_exactly_once_in_fifo_order(self):
+        flushers = FlushRegistry()
+        ran = []
+        flushers.register("first", lambda: ran.append("first"))
+        flushers.register("second", lambda: ran.append("second"))
+        assert flushers.flush() == 2
+        assert flushers.flush() == 0  # a second exit path is a no-op
+        assert ran == ["first", "second"]
+        assert flushers.flushed
+
+    def test_one_broken_sink_does_not_stop_the_rest(self):
+        flushers = FlushRegistry()
+        ran = []
+        flushers.register("broken", lambda: 1 / 0)
+        flushers.register("healthy", lambda: ran.append("healthy"))
+        assert flushers.flush() == 2
+        assert ran == ["healthy"]
+        assert len(flushers.errors) == 1 and "broken" in flushers.errors[0]
+
+    def test_registering_after_flush_fails_loudly(self):
+        flushers = FlushRegistry()
+        flushers.flush()
+        with pytest.raises(RuntimeError, match="already flushed"):
+            flushers.register("late", lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Insights registry
+# ---------------------------------------------------------------------------
+
+
+def _feed(registry, template, n, base=0.010, work=100):
+    for i in range(n):
+        registry.record_phase(template, "decompose", base, work=7)
+        registry.record_phase(template, "execute", base * (i + 1), work=work)
+        registry.record_outcome(template, base * (i + 1), True)
+
+
+class TestInsightsRegistry:
+    def test_snapshot_shape(self):
+        registry = InsightsRegistry(clock=FakeClock())
+        _feed(registry, "T1", 3)
+        registry.record_event("T1", "degraded", {"degraded_to": "width-1"})
+        snap = registry.snapshot()
+        entry = snap["templates"]["T1"]
+        assert entry["queries"] == 3 and entry["errors"] == 0
+        assert entry["events"] == {"degraded": 1}
+        assert set(entry["phases"]) == {"decompose", "execute"}
+        assert entry["phases"]["execute"]["latency"]["count"] == 3
+        assert entry["phases"]["execute"]["work"]["total"] == 300.0
+        assert entry["slo"]["good"] == 3
+        assert snap["slow_log"]["events"][0]["kind"] == "degraded"
+
+    def test_merge_parity_with_single_registry(self):
+        clock = FakeClock()
+        single = InsightsRegistry(clock=clock)
+        shard_a = InsightsRegistry(clock=clock)
+        shard_b = InsightsRegistry(clock=clock)
+        _feed(single, "T1", 4)
+        _feed(shard_a, "T1", 4)
+        _feed(single, "T2", 2, base=0.020)
+        _feed(shard_b, "T2", 2, base=0.020)
+        merged = merge_insights_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()]
+        )
+        expected = single.snapshot()
+        for key in ("T1", "T2"):
+            assert (
+                merged["templates"][key]["phases"]
+                == expected["templates"][key]["phases"]
+            )
+            assert (
+                merged["templates"][key]["queries"]
+                == expected["templates"][key]["queries"]
+            )
+        assert merge_insights_snapshots([]) == {}
+
+    def test_overflow_folds_new_templates(self):
+        registry = InsightsRegistry(clock=FakeClock(), max_templates=2)
+        for name in ("T1", "T2", "T3", "T4"):
+            registry.record_outcome(name, 0.01, True)
+        snap = registry.snapshot()
+        assert set(snap["templates"]) == {"T1", "T2", "(overflow)"}
+        assert snap["templates"]["(overflow)"]["queries"] == 2
+
+    def test_slow_capture_via_registry(self):
+        registry = InsightsRegistry(slow_k=1, clock=FakeClock())
+        assert registry.qualifies_slow("T1", 0.5)
+        assert registry.record_slow("T1", 0.5, {"plan": "scan"})
+        assert not registry.record_slow("T1", 0.1, {"plan": "cheap"})
+        outliers = registry.snapshot()["slow_log"]["outliers"]["T1"]
+        assert [e["plan"] for e in outliers] == ["scan"]
+
+    def test_null_insights_is_inert(self):
+        assert not NULL_INSIGHTS.enabled
+        NULL_INSIGHTS.record_phase("T", "execute", 1.0, work=5)
+        NULL_INSIGHTS.record_outcome("T", 1.0, False)
+        NULL_INSIGHTS.record_event("T", "kind")
+        assert not NULL_INSIGHTS.qualifies_slow("T", 99.0)
+        assert not NULL_INSIGHTS.record_slow("T", 99.0, {})
+        assert NULL_INSIGHTS.snapshot() == {}
+
+    def test_prometheus_exposition(self):
+        registry = InsightsRegistry(clock=FakeClock())
+        _feed(registry, 'T"1', 2)
+        text = render_insights_prometheus(registry.snapshot())
+        assert 'hdqo_template_queries_total{template="T\\"1"} 2' in text
+        assert 'window="fast"' in text and 'window="slow"' in text
+        assert 'phase="execute",quantile="p99"' in text
+        # An empty snapshot still renders the metric headers.
+        assert "# TYPE hdqo_slo_burn_rate gauge" in (
+            render_insights_prometheus({})
+        )
+
+
+# ---------------------------------------------------------------------------
+# Service integration: zero work-unit cost when disabled
+# ---------------------------------------------------------------------------
+
+
+def _tiny_db():
+    rng = random.Random(0)
+    from repro.relational import AttributeType, Database, RelationSchema
+
+    db = Database("pair")
+    for i in range(2):
+        schema = RelationSchema.of(
+            f"r{i}", {f"a{i}": AttributeType.INT, f"b{i}": AttributeType.INT}
+        )
+        db.create_table(
+            schema, [(rng.randrange(6), rng.randrange(6)) for _ in range(30)]
+        )
+    db.analyze()
+    return db
+
+
+PAIR_SQL = "SELECT r0.a0 FROM r0, r1 WHERE r0.b0 = r1.a1 AND r0.a0 < {c}"
+
+
+class TestServiceIntegration:
+    def _run(self, insights):
+        service = QueryService(
+            SimulatedDBMS(_tiny_db(), COMMDB_PROFILE),
+            max_width=2,
+            workers=2,
+            insights=insights,
+        )
+        try:
+            queries = [PAIR_SQL.format(c=2 + (i % 3)) for i in range(6)]
+            results = service.run_all(queries)
+            return results, service.snapshot()
+        finally:
+            service.close()
+
+    def test_insights_cost_zero_work_units(self):
+        off_results, off_snapshot = self._run(insights=None)
+        on_results, on_snapshot = self._run(insights=InsightsRegistry())
+        assert [r.work for r in on_results] == [r.work for r in off_results]
+        assert [
+            sorted(r.relation.tuples) for r in on_results
+        ] == [sorted(r.relation.tuples) for r in off_results]
+        assert "insights" not in off_snapshot
+        insights = on_snapshot["insights"]
+        assert insights["templates"], "enabled run must observe templates"
+        total = sum(
+            entry["queries"] for entry in insights["templates"].values()
+        )
+        assert total == len(on_results)
+
+    def test_execute_work_histogram_matches_results(self):
+        _, snapshot = self._run(insights=InsightsRegistry())
+        work_total = sum(
+            entry["phases"]["execute"]["work"]["total"]
+            for entry in snapshot["insights"]["templates"].values()
+            if "execute" in entry["phases"]
+        )
+        queries = snapshot["queries"]
+        assert queries["finished"] == 6
+        assert work_total > 0
+
+
+# ---------------------------------------------------------------------------
+# Metrics: latency quantiles from the streaming histogram
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyQuantiles:
+    def test_latency_stat_quantiles_and_merge(self):
+        left, right = LatencyStat(), LatencyStat()
+        for v in (0.010, 0.020):
+            left.observe(v)
+        right.observe(0.500)
+        left.merge(right)
+        snap = left.snapshot()
+        assert snap["count"] == 3
+        assert snap["p50"] == quantile_from_snapshot(snap["hdr"], 0.50)
+        assert 0.02 <= snap["p50"] < 0.03
+        assert snap["p99"] >= 0.5
+        # The pre-existing summary fields are still there, unchanged.
+        assert {"count", "total", "mean", "min", "max"} <= set(snap)
+
+    def test_service_metrics_snapshot_has_quantiles(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(finished=True, work=10, seconds=0.25)
+        latency = metrics.snapshot()["latency_seconds"]
+        assert latency["count"] == 1
+        assert latency["p50"] == latency["p99"] > 0.25
+        assert latency["hdr"]["count"] == 1
+
+
+class TestAggregateMergeSpecialCases:
+    def test_hdr_merges_exactly_and_quantiles_recompute(self):
+        shards = []
+        single = LatencyStat()
+        for values in ((0.010, 0.040), (0.080, 0.120, 0.500)):
+            stat = LatencyStat()
+            for v in values:
+                stat.observe(v)
+                single.observe(v)
+            shards.append({"latency_seconds": stat.snapshot()})
+        merged = merge_metric_snapshots(shards)["latency_seconds"]
+        expected = single.snapshot()
+        assert merged["hdr"] == expected["hdr"]  # byte-identical buckets
+        for q in ("p50", "p90", "p99"):
+            assert merged[q] == expected[q]
+
+    def test_insights_snapshots_merge_not_sum(self):
+        clock = FakeClock()
+        shards = []
+        single = InsightsRegistry(clock=clock)
+        for template in ("T1", "T2"):
+            registry = InsightsRegistry(clock=clock)
+            _feed(registry, template, 3)
+            _feed(single, template, 3)
+            shards.append({"insights": registry.snapshot()})
+        merged = merge_metric_snapshots(shards)["insights"]
+        expected = single.snapshot()
+        assert merged["templates"] == expected["templates"]
+        # The generic numeric sum would have doubled "slow_k"; the
+        # special-cased merge must keep it a configuration value.
+        assert merged["slow_k"] == expected["slow_k"]
+
+
+# ---------------------------------------------------------------------------
+# hdqo top
+# ---------------------------------------------------------------------------
+
+
+def _top_payload():
+    registry = InsightsRegistry(clock=FakeClock())
+    _feed(registry, "SELECT-chain", 5)
+    registry.record_event("SELECT-chain", "degraded")
+    return {
+        "service": {
+            "queries": 5,
+            "cache_hit_rate": 0.8,
+            "saturation": 0.25,
+            "shards": 4,
+        },
+        "insights": registry.snapshot(),
+    }
+
+
+class TestTop:
+    def test_publish_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        payload = _top_payload()
+        publish_snapshot_file(path, payload)
+        loaded = load_snapshot_file(path)
+        assert loaded["service"]["shards"] == 4
+        assert "SELECT-chain" in loaded["insights"]["templates"]
+        assert not (tmp_path / "snapshot.json.tmp").exists()
+
+    def test_load_missing_or_torn_returns_none(self, tmp_path):
+        assert load_snapshot_file(str(tmp_path / "missing.json")) is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"service": {')
+        assert load_snapshot_file(str(torn)) is None
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[1, 2]")
+        assert load_snapshot_file(str(not_object)) is None
+
+    def test_render_top_frame(self):
+        frame = render_top(_top_payload())
+        assert "SELECT-chain" in frame
+        assert "cache-hit=80.0%" in frame
+        assert "shards=4" in frame
+        assert "degraded template=SELECT-chain" in frame
+        assert "\x1b" not in frame  # plain text, no escape codes
+
+    def test_render_top_empty_payload(self):
+        frame = render_top({})
+        assert "no template traffic" in frame
+        assert "saturation=-" in frame  # missing fields render as dashes
+
+    def test_run_top_non_tty_renders_exactly_one_frame(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        publish_snapshot_file(path, _top_payload())
+        out = io.StringIO()
+        sleeps = []
+        code = run_top(
+            path, interval=0.5, stream=out, is_tty=False,
+            sleep=sleeps.append,
+        )
+        assert code == 0
+        assert sleeps == []  # one frame, no polling loop
+        assert out.getvalue().count("hdqo top —") == 1
+
+    def test_run_top_without_snapshot_fails(self, tmp_path):
+        out = io.StringIO()
+        code = run_top(
+            str(tmp_path / "never.json"), stream=out, is_tty=False,
+        )
+        assert code == 1
+        assert "no snapshot" in out.getvalue()
+
+    def test_run_top_tty_polls_for_iterations(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        publish_snapshot_file(path, _top_payload())
+        out = io.StringIO()
+        sleeps = []
+        code = run_top(
+            path, interval=0.25, iterations=3, stream=out, is_tty=True,
+            sleep=sleeps.append,
+        )
+        assert code == 0
+        assert sleeps == [0.25, 0.25]
+        assert out.getvalue().count("hdqo top —") == 3
+
+
+# ---------------------------------------------------------------------------
+# hdqo report
+# ---------------------------------------------------------------------------
+
+
+def _serving_spans(execute_seconds, errors=0, cache_hits=True, n=8):
+    """A synthetic but contract-valid serving trace for one template."""
+    records = []
+    span_id = 0
+    for i in range(n):
+        records.append({
+            "span_id": span_id,
+            "parent_id": None,
+            "name": "serve.plan",
+            "start": 0.1 * i,
+            "duration": 0.002,
+            "work_units": 0,
+            "tags": {
+                "template": "chain-template",
+                "plan_units": 40,
+                "cache_hit": cache_hits and i > 0,
+            },
+        })
+        records.append({
+            "span_id": span_id + 1,
+            "parent_id": span_id,
+            "name": "decompose.optimize",
+            "start": 0.1 * i,
+            "duration": 0.001,
+            "work_units": 12,
+            "tags": {},
+        })
+        execute_tags = {"template": "chain-template"}
+        if i < errors:
+            execute_tags["error"] = "WorkBudgetExceeded"
+        records.append({
+            "span_id": span_id + 2,
+            "parent_id": None,
+            "name": "serve.execute",
+            "start": 0.1 * i + 0.01,
+            "duration": execute_seconds,
+            "work_units": 250,
+            "tags": execute_tags,
+        })
+        span_id += 3
+    return records
+
+
+def _write_jsonl(path, records):
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in records)
+    )
+    return str(path)
+
+
+class TestReport:
+    def test_load_span_records_reports_problems(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            json.dumps({"span_id": 1, "name": "serve.plan", "duration": 0.1,
+                        "tags": {"template": "t"}})
+            + "\nnot json\n"
+            + json.dumps({"no_span_id": True})
+            + "\n\n"
+        )
+        records, problems = load_span_records(str(path))
+        assert len(records) == 1
+        assert len(problems) == 2
+        missing, missing_problems = load_span_records(
+            str(tmp_path / "absent.jsonl")
+        )
+        assert missing == [] and len(missing_problems) == 1
+
+    def test_analyze_reconstructs_phases(self, tmp_path):
+        records = _serving_spans(execute_seconds=0.004)
+        analysis = analyze_spans(records)
+        assert analysis["problems"] == []
+        entry = analysis["templates"]["chain-template"]
+        assert entry["queries"] == 8
+        assert entry["plans"] == 8 and entry["cache_hits"] == 7
+        assert set(entry["phases"]) == {"decompose", "optimize", "execute"}
+        execute = entry["phases"]["execute"]
+        assert execute["latency"]["count"] == 8
+        assert execute["work"]["total"] == 8 * 250.0
+        # optimize spans attribute through the parent serve.plan span
+        assert entry["phases"]["optimize"]["work"]["total"] == 8 * 12.0
+
+    def test_untagged_serving_spans_are_a_problem(self):
+        records = [{
+            "span_id": 0, "parent_id": None, "name": "serve.execute",
+            "start": 0.0, "duration": 0.01, "work_units": 1, "tags": {},
+        }]
+        analysis = analyze_spans(records)
+        assert any("attribution" in p for p in analysis["problems"])
+
+    def test_clean_run_passes_committed_baseline(self, tmp_path):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_serving.json").read_text()
+        )
+        records = _serving_spans(execute_seconds=0.004)
+        analysis = analyze_spans(records)
+        flags, warnings = check_baseline(analysis, baseline)
+        assert flags == []
+
+    def test_seeded_regression_is_flagged(self):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_serving.json").read_text()
+        )
+        p99_s = baseline["sharded"]["latency_p99_ms"] / 1000.0
+        seeded = analyze_spans(
+            _serving_spans(execute_seconds=p99_s * 20, errors=2,
+                           cache_hits=False)
+        )
+        flags, _ = check_baseline(seeded, baseline)
+        assert any("latency regression" in flag for flag in flags)
+        assert any("error regression" in flag for flag in flags)
+        assert any("cache amortization" in flag for flag in flags)
+
+    def test_tolerance_is_respected(self):
+        baseline = {
+            "benchmark": "sharded-serving",
+            "sharded": {"latency_p50_ms": 1.0, "latency_p99_ms": 10.0,
+                        "errors": 0},
+        }
+        analysis = analyze_spans(_serving_spans(execute_seconds=0.050))
+        strict, _ = check_baseline(analysis, baseline, tolerance=2.0)
+        loose, _ = check_baseline(analysis, baseline, tolerance=100.0)
+        assert any("latency regression" in f for f in strict)
+        assert not any("latency regression" in f for f in loose)
+
+    def test_render_report_text(self):
+        analysis = analyze_spans(_serving_spans(execute_seconds=0.004))
+        clean = render_report(analysis, flags=[], warnings=[])
+        assert "chain-template" in clean
+        assert "baseline comparison: clean" in clean
+        flagged = render_report(
+            analysis, flags=["latency regression: ..."],
+            warnings=["baseline record is unstamped"],
+        )
+        assert "REGRESSIONS FLAGGED" in flagged
+        assert "warning: baseline record is unstamped" in flagged
+
+
+class TestReportCli:
+    def test_cli_report_clean_and_seeded(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = _write_jsonl(
+            tmp_path / "clean.jsonl", _serving_spans(execute_seconds=0.004)
+        )
+        baseline = str(REPO_ROOT / "BENCH_serving.json")
+        assert main(["report", clean, "--baseline", baseline]) == 0
+        assert "chain-template" in capsys.readouterr().out
+
+        seeded = _write_jsonl(
+            tmp_path / "seeded.jsonl",
+            _serving_spans(execute_seconds=5.0, errors=3, cache_hits=False),
+        )
+        assert main(["report", seeded, "--baseline", baseline]) == 1
+        assert "REGRESSIONS FLAGGED" in capsys.readouterr().out
+
+    def test_cli_report_bad_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spans = _write_jsonl(
+            tmp_path / "spans.jsonl", _serving_spans(execute_seconds=0.004)
+        )
+        assert main(["report", spans, "--baseline",
+                     str(tmp_path / "missing.json")]) == 1
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[]\n")
+        assert main(["report", spans, "--baseline", str(not_object)]) == 1
+
+    def test_cli_top_non_tty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "snapshot.json")
+        publish_snapshot_file(path, _top_payload())
+        assert main(["top", path, "--iterations", "1"]) == 0
+        assert "SELECT-chain" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Sharded serving: merged insights byte-identical to one process
+# ---------------------------------------------------------------------------
+
+
+def _chain_db():
+    rng = random.Random(0)
+    from repro.relational import AttributeType, Database, RelationSchema
+
+    db = Database("chain4")
+    for i in range(4):
+        schema = RelationSchema.of(
+            f"r{i}", {f"a{i}": AttributeType.INT, f"b{i}": AttributeType.INT}
+        )
+        db.create_table(
+            schema, [(rng.randrange(8), rng.randrange(8)) for _ in range(40)]
+        )
+    db.analyze()
+    return db
+
+
+CLUSTER_TEMPLATES = [
+    "SELECT r0.a0 FROM r0, r1 WHERE r0.b0 = r1.a1 AND r0.a0 < {c}",
+    "SELECT r2.a2, r3.a3 FROM r2, r3 WHERE r2.b2 = r3.a3 AND r2.a2 < {c}",
+    "SELECT r1.a1 FROM r1, r2 WHERE r1.b1 = r2.a2 AND r1.a1 < {c}",
+]
+
+
+@pytest.fixture(scope="module")
+def insights_cluster():
+    """One 2-shard run with ``insights=True`` + its single-process twin."""
+    from repro.shard import ShardConfig, ShardRouter
+
+    database = _chain_db()
+    queries = [
+        template.format(c=2 + (rep % 3))
+        for rep in range(4)
+        for template in CLUSTER_TEMPLATES
+    ]
+
+    single = QueryService(
+        SimulatedDBMS(database, COMMDB_PROFILE),
+        max_width=2,
+        workers=2,
+        insights=InsightsRegistry(),
+    )
+    try:
+        single_results = single.run_all(queries)
+        single_snapshot = single.snapshot()
+    finally:
+        single.close()
+
+    config = ShardConfig(
+        database=database, max_width=2, workers=2, insights=True
+    )
+    router = ShardRouter(config, shards=2)
+    sharded_results = router.run_all(queries)
+    drained = router.drain(grace_seconds=30.0)
+    final = router.final_snapshot()
+    return {
+        "queries": queries,
+        "single_results": single_results,
+        "single_insights": single_snapshot["insights"],
+        "sharded_results": sharded_results,
+        "merged_insights": final["merged"]["insights"],
+        "drained": drained,
+    }
+
+
+class TestShardedInsightsParity:
+    def test_cluster_drained_and_answers_match(self, insights_cluster):
+        assert insights_cluster["drained"]
+        for single, sharded in zip(
+            insights_cluster["single_results"],
+            insights_cluster["sharded_results"],
+        ):
+            assert single.relation.tuples == sharded.relation.tuples
+            assert single.work == sharded.work
+
+    def test_merged_work_histograms_are_byte_identical(self, insights_cluster):
+        """The acceptance bar: per-template work histograms, merged across
+        shards, equal a single process's — exactly, bucket for bucket.
+        (Latency histograms are wall-clock and legitimately differ.)"""
+        merged = insights_cluster["merged_insights"]["templates"]
+        expected = insights_cluster["single_insights"]["templates"]
+        assert set(merged) == set(expected)
+        assert len(merged) == len(CLUSTER_TEMPLATES)
+        for key, entry in expected.items():
+            assert set(merged[key]["phases"]) == set(entry["phases"])
+            for phase, data in entry["phases"].items():
+                assert merged[key]["phases"][phase]["work"] == data["work"], (
+                    f"template {key} phase {phase} work histogram diverged"
+                )
+
+    def test_merged_counters_match_single_process(self, insights_cluster):
+        merged = insights_cluster["merged_insights"]["templates"]
+        expected = insights_cluster["single_insights"]["templates"]
+        for key, entry in expected.items():
+            assert merged[key]["queries"] == entry["queries"]
+            assert merged[key]["errors"] == entry["errors"]
+            assert merged[key]["events"] == entry["events"]
+
+    def test_latency_histograms_share_geometry_and_counts(
+        self, insights_cluster
+    ):
+        merged = insights_cluster["merged_insights"]["templates"]
+        expected = insights_cluster["single_insights"]["templates"]
+        for key, entry in expected.items():
+            for phase, data in entry["phases"].items():
+                latency = merged[key]["phases"][phase]["latency"]
+                for field in ("scale", "lo", "hi", "count"):
+                    assert latency[field] == data["latency"][field]
+
+
+# ---------------------------------------------------------------------------
+# Bench-record provenance
+# ---------------------------------------------------------------------------
+
+
+class TestBenchRecord:
+    def test_stamp_adds_provenance(self):
+        from repro.bench.record import stamp_record
+
+        record = {"benchmark": "parallel-qhd-evaluation"}
+        stamp_record(record, sha="a" * 40)
+        assert record["git_sha"] == "a" * 40
+        assert record["recorded_at"].endswith("Z")
+
+    def test_validate_accepts_a_stamped_serving_record(self):
+        from repro.bench.record import stamp_record, validate_record
+
+        record = {
+            "benchmark": "sharded-serving",
+            "scale": "quick", "shards": 4,
+            "baseline": {}, "parity": {}, "hit_rate_ok": True,
+            "sharded": {"latency_p50_ms": 1.0, "latency_p99_ms": 2.0,
+                        "errors": 0},
+        }
+        stamp_record(record, sha="b" * 40)
+        assert validate_record(record) == []
+
+    def test_validate_flags_schema_problems(self):
+        from repro.bench.record import validate_record
+
+        assert validate_record({}) == ["missing 'benchmark' name"]
+        assert validate_record({"benchmark": "nope"}) == [
+            "unknown benchmark kind 'nope'"
+        ]
+        problems = validate_record({
+            "benchmark": "sharded-serving",
+            "scale": "quick", "shards": 1, "baseline": {}, "parity": {},
+            "hit_rate_ok": True, "sharded": {},
+            "git_sha": "short", "recorded_at": "not-a-date",
+        })
+        assert any("latency_p99_ms" in p for p in problems)
+        assert any("40-char SHA" in p for p in problems)
+        assert any("ISO-8601" in p for p in problems)
+
+    def test_committed_baseline_parses_without_stamp(self):
+        from repro.bench.record import validate_record
+
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_serving.json").read_text()
+        )
+        assert validate_record(baseline, require_stamp=False) == []
