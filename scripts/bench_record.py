@@ -111,6 +111,8 @@ def run_serving(args: argparse.Namespace) -> dict:
         shards=args.shards,
         workers=args.workers,
         repetitions=args.repetitions,
+        kill_rate=args.kill_rate,
+        supervise=args.supervise or args.kill_rate > 0,
     )
     report["python"] = platform.python_version()
     report["machine"] = platform.machine()
@@ -166,6 +168,20 @@ def main() -> int:
         default=0,
         help="repetitions per tenant template, 0 = scale default (serving)",
     )
+    parser.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.0,
+        help="SIGKILL a random live shard with this probability per tick "
+        "while the workload runs; records availability and recovery "
+        "percentiles (serving)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the shard cluster under the self-healing supervisor "
+        "(implied by --kill-rate > 0) (serving)",
+    )
     args = parser.parse_args()
     root = Path(__file__).resolve().parent.parent
     output = Path(
@@ -176,14 +192,26 @@ def main() -> int:
         report = run_serving(args)
         write_report(report, output, root)
         print(json.dumps(report, indent=2))
-        parity = report["parity"]["identical"]
+        parity = (
+            report["parity"]["identical"] or not report["parity"]["checked"]
+        )
         hit_rate_ok = report["hit_rate_ok"]
         drained = report["sharded"]["drained_clean"]
         print(
             f"\nparity={parity} per-shard-hit-rate>=baseline={hit_rate_ok} "
             f"drain-clean={drained}"
         )
-        return 0 if parity and hit_rate_ok and drained else 1
+        resilience = report.get("resilience")
+        recovered = True
+        if resilience is not None:
+            recovered = resilience["recovered_to_full"]
+            print(
+                f"availability={resilience['availability']:.2%} "
+                f"kills={resilience['kills']} "
+                f"restarts={resilience['restarts']} "
+                f"recovered-to-full={recovered}"
+            )
+        return 0 if parity and hit_rate_ok and drained and recovered else 1
 
     report = run(args.repeats)
     write_report(report, output, root)

@@ -100,6 +100,20 @@ def validate_record(
             for key in ("latency_p50_ms", "latency_p99_ms", "errors"):
                 if key not in sharded:
                     problems.append(f"'sharded' missing {key!r}")
+        resilience = record.get("resilience")
+        if resilience is not None:
+            if not isinstance(resilience, Mapping):
+                problems.append("'resilience' must be an object")
+            else:
+                for key in (
+                    "availability",
+                    "kills",
+                    "recovered_to_full",
+                    "recovery_p50_ms",
+                    "recovery_p99_ms",
+                ):
+                    if key not in resilience:
+                        problems.append(f"'resilience' missing {key!r}")
     if benchmark == "parallel-qhd-evaluation":
         workloads = record.get("workloads")
         if "workloads" in record and not isinstance(workloads, Mapping):

@@ -266,6 +266,16 @@ def _percentile(samples: Sequence[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+def _await_full_strength(router, shards: int, timeout: float) -> bool:
+    """Poll until the supervisor has every shard serving again (bounded)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(router.live_shards()) == shards:
+            return True
+        time.sleep(0.05)
+    return len(router.live_shards()) == shards
+
+
 def run_sharded_serving(
     scale: str = "quick",
     seed: int = 7,
@@ -275,6 +285,8 @@ def run_sharded_serving(
     deadline_ms: "Optional[float]" = None,
     inject: "Optional[str]" = None,
     insights: bool = False,
+    kill_rate: float = 0.0,
+    supervise: bool = False,
 ) -> dict:
     """Mixed multi-tenant traffic over a shard cluster vs one process.
 
@@ -295,10 +307,27 @@ def run_sharded_serving(
 
     Fault injection (``inject``) disables the parity check — faulting
     runs produce explicit errors by design, not identical answers.
+
+    A ``kill_rate`` > 0 turns the run into a **kill storm**: a seeded
+    killer thread SIGKILLs a random live shard with probability
+    ``kill_rate`` per tick while the workload runs (``supervise`` is
+    implied — an unsupervised cluster cannot recover).  The report then
+    carries a ``resilience`` section: availability (fraction of queries
+    answered correctly rather than with a typed error), kill/restart/
+    failover counts, recovery-time percentiles from the supervisor's
+    streaming histogram, and whether the cluster returned to the full
+    shard count before the drain.  Kill storms also disable the parity
+    and hit-rate checks — crash-retried queries legitimately error when
+    budgets run out, and a restarted shard's plan cache starts cold.
     """
+    import os
+    import random
+    import signal as signal_module
+    import threading
+
     from repro.errors import ReproError
     from repro.resilience.faults import FaultInjector
-    from repro.shard import ShardConfig, ShardRouter
+    from repro.shard import ShardConfig, ShardRouter, SupervisorPolicy
 
     repetitions = repetitions or (8 if scale == "quick" else 20)
     database, templates = serving_workload(scale, seed)
@@ -349,15 +378,68 @@ def run_sharded_serving(
         seed=seed,
         insights=insights,
     )
-    router = ShardRouter(config, shards=shards)
+    if not 0.0 <= kill_rate <= 1.0:
+        raise ValueError("kill_rate must be within [0, 1]")
+    supervise = supervise or kill_rate > 0
+    policy = (
+        SupervisorPolicy(
+            max_restarts=max(5, shards * 4),
+            backoff_base_seconds=0.02,
+            backoff_cap_seconds=0.25,
+            seed=seed,
+        )
+        if supervise
+        else None
+    )
+    router = ShardRouter(config, shards=shards, supervise=policy)
+
+    kills = 0
+    stop_killer = threading.Event()
+
+    def _storm() -> None:
+        """SIGKILL a random live shard with p=kill_rate per 50ms tick."""
+        nonlocal kills
+        rng = random.Random(seed * 9176 + 11)
+        while not stop_killer.wait(0.05):
+            if rng.random() >= kill_rate:
+                continue
+            pids = {
+                shard_id: pid
+                for shard_id, pid in router.shard_pids().items()
+                if pid is not None
+            }
+            if not pids:
+                continue
+            victim = rng.choice(sorted(pids))
+            try:
+                os.kill(pids[victim], signal_module.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+            kills += 1
+
+    killer = (
+        threading.Thread(target=_storm, name="hdqo-bench-killer", daemon=True)
+        if kill_rate > 0
+        else None
+    )
     try:
         started = time.perf_counter()
+        if killer is not None:
+            killer.start()
         sharded_outcomes = router.run_all(queries, return_exceptions=True)
         sharded_elapsed = time.perf_counter() - started
+        stop_killer.set()
+        if killer is not None:
+            killer.join()
+        recovered_to_full = True
+        if killer is not None:
+            recovered_to_full = _await_full_strength(router, shards, 30.0)
         latencies = router.client_latencies()
         saturation = router.saturation()
         live_snapshot = router.snapshot()
+        live_after = len(router.live_shards())
     finally:
+        stop_killer.set()
         drained_clean = router.drain(grace_seconds=30.0)
 
     for outcomes in (baseline_outcomes, sharded_outcomes):
@@ -376,7 +458,7 @@ def run_sharded_serving(
         base_err = isinstance(base, Exception)
         shard_err = isinstance(shard, Exception)
         if base_err or shard_err:
-            if inject is None and deadline_ms is None:
+            if inject is None and deadline_ms is None and kill_rate == 0:
                 identical = False  # a fault-free run must not error
             continue
         compared += 1
@@ -402,6 +484,37 @@ def run_sharded_serving(
     per_shard_view = live_snapshot["router"]["per_shard"]
     errors = sum(1 for o in sharded_outcomes if isinstance(o, Exception))
 
+    resilience = None
+    if supervise:
+        supervisor_view = live_snapshot.get("supervisor") or {}
+        supervisor_metrics = supervisor_view.get("metrics") or {}
+        recovery = supervisor_metrics.get("recovery_seconds") or {}
+        answered = len(sharded_outcomes) - errors
+        resilience = {
+            "kill_rate": kill_rate,
+            "kills": kills,
+            "availability": (
+                round(answered / len(sharded_outcomes), 4)
+                if sharded_outcomes
+                else 1.0
+            ),
+            "worker_deaths": supervisor_metrics.get("worker_deaths", 0),
+            "restarts": supervisor_metrics.get("restarts", 0),
+            "failovers": supervisor_metrics.get("failovers", 0),
+            "breaker_opens": supervisor_metrics.get("breaker_opens", 0),
+            "unavailable": supervisor_metrics.get("unavailable", 0),
+            "ring_epochs": supervisor_metrics.get("ring_epochs", 0),
+            "recovery_count": recovery.get("count", 0),
+            "recovery_p50_ms": round(
+                float(recovery.get("p50", 0.0) or 0.0) * 1000, 3
+            ),
+            "recovery_p99_ms": round(
+                float(recovery.get("p99", 0.0) or 0.0) * 1000, 3
+            ),
+            "recovered_to_full": recovered_to_full,
+            "live_shards_after": live_after,
+        }
+
     return {
         "benchmark": "sharded-serving",
         "scale": scale,
@@ -413,6 +526,8 @@ def run_sharded_serving(
         "queries": len(queries),
         "deadline_ms": deadline_ms,
         "inject": inject,
+        "kill_rate": kill_rate,
+        "supervise": supervise,
         "baseline": {
             "workers": shards * workers,
             "elapsed_seconds": round(baseline_elapsed, 4),
@@ -455,7 +570,12 @@ def run_sharded_serving(
             "identical": identical,
             "compared": compared,
             "rows": rows_total,
-            "checked": inject is None,
+            "checked": inject is None and kill_rate == 0,
         },
-        "hit_rate_ok": not hit_rates or min_hit_rate >= baseline_hit_rate,
+        # A restarted shard's plan cache legitimately starts cold, so the
+        # hit-rate floor only binds on storm-free runs.
+        "hit_rate_ok": kill_rate > 0
+        or not hit_rates
+        or min_hit_rate >= baseline_hit_rate,
+        **({"resilience": resilience} if resilience is not None else {}),
     }

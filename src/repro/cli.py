@@ -439,7 +439,7 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
     from repro.obs.flush import FlushRegistry
     from repro.obs.tracing import validate_span_records
     from repro.service.metrics import render_snapshot
-    from repro.shard import ShardConfig, ShardRouter
+    from repro.shard import ShardConfig, ShardRouter, SupervisorPolicy
 
     config = ShardConfig(
         database=database,
@@ -457,7 +457,12 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
         trace=bool(args.trace),
         insights=bool(args.insights),
     )
-    router = ShardRouter(config, shards=args.shards)
+    policy = (
+        SupervisorPolicy(max_restarts=args.max_restarts, seed=args.seed)
+        if args.supervise
+        else None
+    )
+    router = ShardRouter(config, shards=args.shards, supervise=policy)
 
     def _live_payload() -> dict:
         try:
@@ -586,6 +591,16 @@ def _serve_sharded(args: argparse.Namespace, database, queries: List[str]) -> in
             ):
                 shown = f"{rate:.2%}" if rate is not None else "-"
                 print(f"  shard {shard_id}: {shown}")
+            supervisor_view = snapshot.get("supervisor")
+            if supervisor_view is not None:
+                sup = supervisor_view["metrics"]
+                print(
+                    "supervision: "
+                    f"deaths={sup['worker_deaths']}  "
+                    f"restarts={sup['restarts']}  "
+                    f"failovers={sup['failovers']}  "
+                    f"breaker opens={sup['breaker_opens']}"
+                )
             if merged_insights is not None:
                 from repro.obs.insights.top import render_top
 
@@ -685,6 +700,8 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         inject=args.inject,
         insights=args.insights,
+        kill_rate=args.kill_rate,
+        supervise=args.supervise or args.kill_rate > 0,
     )
     base, shard = report["baseline"], report["sharded"]
     print(
@@ -720,6 +737,19 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         f"hit-rate:    every shard ≥ baseline: {report['hit_rate_ok']}  "
         f"drain clean: {shard['drained_clean']}"
     )
+    resilience = report.get("resilience")
+    if resilience is not None:
+        print(
+            f"resilience:  availability={resilience['availability']:.2%}  "
+            f"kills={resilience['kills']}  "
+            f"restarts={resilience['restarts']}  "
+            f"failovers={resilience['failovers']}  "
+            f"recovered={resilience['recovered_to_full']}"
+        )
+        print(
+            f"recovery:    p50={resilience['recovery_p50_ms']}ms  "
+            f"p99={resilience['recovery_p99_ms']}ms"
+        )
     if args.insights and "insights" in shard:
         templates = shard["insights"]["templates"]
         worst = max(
@@ -747,6 +777,8 @@ def _bench_serve_sharded(args: argparse.Namespace) -> int:
         and report["hit_rate_ok"]
         and shard["drained_clean"]
     )
+    if resilience is not None:
+        ok = ok and resilience["recovered_to_full"]
     return 0 if ok else 1
 
 
@@ -1005,6 +1037,22 @@ def build_parser() -> argparse.ArgumentParser:
         "either way)",
     )
     p.add_argument(
+        "--supervise",
+        action="store_true",
+        help="with --shards: self-heal the cluster — restart dead workers "
+        "(seeded jittered backoff, per-shard breaker), fail traffic over "
+        "to live shards, and retry crash-stranded queries within their "
+        "original deadlines",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="with --supervise: consecutive restarts per shard before its "
+        "breaker opens (further restarts wait out the cooldown)",
+    )
+    p.add_argument(
         "--insights",
         action="store_true",
         help="record per-template query insights (streaming latency/work "
@@ -1094,6 +1142,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="benchmark multi-tenant traffic over N shard processes "
         "(reports p50/p99 latency, saturation, per-shard cache hit rates)",
+    )
+    p.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="with --shards: SIGKILL a random live shard with probability "
+        "R per killer tick while the workload runs (implies --supervise "
+        "semantics are what is being measured: availability and recovery "
+        "percentiles land in the report)",
+    )
+    p.add_argument(
+        "--supervise",
+        action="store_true",
+        help="with --shards: run the cluster under the self-healing "
+        "supervisor (required for a --kill-rate > 0 run to recover)",
     )
     p.add_argument(
         "--record",

@@ -233,6 +233,36 @@ class ShardError(ServiceError):
         self.shard_id = shard_id
 
 
+class ShardUnavailable(ShardError):
+    """No live shard could serve a query before its budgets ran out.
+
+    Raised by the supervised router when a worker died with the query in
+    flight and every recovery avenue is exhausted: the deadline-aware
+    retry budget hit zero, the original deadline expired before a retry
+    could be dispatched, or no live failover shard remains on the ring.
+    Queries are read-only and idempotent, so the router retries them
+    transparently first — this error is the explicit end of that road.
+
+    Attributes:
+        shard_id: the shard whose death stranded the query (the *last*
+            one, if the query was retried across several).
+        attempts: dispatch attempts made (1 = the original only).
+        reason: which budget ran out (``"retry-budget"``,
+            ``"deadline"``, ``"no-live-shard"``, or ``"draining"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: "int | None" = None,
+        attempts: int = 1,
+        reason: str = "retry-budget",
+    ):
+        super().__init__(message, shard_id=shard_id)
+        self.attempts = attempts
+        self.reason = reason
+
+
 class LockOrderViolation(ReproError):
     """The dynamic lock-order witness observed a cyclic acquisition order.
 

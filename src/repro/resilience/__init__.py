@@ -21,6 +21,7 @@ from repro.resilience.context import (
     set_context,
 )
 from repro.resilience.faults import FaultInjector, FaultSpec, parse_faultspec
+from repro.resilience.retry import RetryBudget, RetryPolicy, jittered_backoff
 
 __all__ = [
     "CancellationToken",
@@ -32,7 +33,10 @@ __all__ = [
     "MemoryBudget",
     "NULL_CONTEXT",
     "NullExecutionContext",
+    "RetryBudget",
+    "RetryPolicy",
     "current_context",
+    "jittered_backoff",
     "parse_faultspec",
     "resilient",
     "set_context",

@@ -1,0 +1,127 @@
+"""Deadline-aware retry budgets and seeded jittered backoff.
+
+Two small primitives shared by the shard supervision layer (and usable by
+any caller that replays idempotent work):
+
+* :class:`RetryPolicy` / :class:`RetryBudget` — a bounded number of
+  re-dispatch attempts that must also fit inside the *original* request
+  deadline.  Deadlines never stretch: a retry inherits whatever remains
+  of the first dispatch's wall-clock budget, so a query retried across a
+  worker crash can finish late-but-inside-deadline or fail explicitly —
+  never silently later than the caller asked for.
+* :func:`jittered_backoff` — capped exponential backoff with full jitter
+  drawn from a *caller-seeded* :class:`random.Random`, so a supervised
+  cluster restarts workers on a reproducible schedule (the repo-wide
+  determinism rule: randomness is fine, wall-clock entropy is not).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times idempotent work may be re-dispatched.
+
+    Args:
+        max_retries: re-dispatch attempts *after* the original (0
+            disables retries entirely).
+    """
+
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def budget(
+        self,
+        deadline_at: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "RetryBudget":
+        """A fresh per-request budget anchored at ``deadline_at``."""
+        return RetryBudget(self, deadline_at=deadline_at, clock=clock)
+
+
+class RetryBudget:
+    """Mutable per-request retry state: attempts left + deadline anchor.
+
+    Not thread-safe by itself — the shard router mutates it under its own
+    state lock.
+
+    Args:
+        policy: the governing :class:`RetryPolicy`.
+        deadline_at: absolute monotonic instant the *original* request
+            must resolve by, or None for no deadline.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        deadline_at: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self.deadline_at = deadline_at
+        self._clock = clock
+        self.attempts = 1  # the original dispatch
+        self.retries_left = policy.max_retries
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds left on the original deadline (None = unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - self._clock()
+
+    def admit(self) -> Optional[float]:
+        """Consume one retry; returns the remaining deadline budget.
+
+        The return value is the seconds a retry may still spend (None
+        when the request never had a deadline).  Call only after
+        :meth:`admissible` returned None — an exhausted budget raises
+        :class:`RuntimeError` to catch caller bugs loudly.
+        """
+        remaining = self.remaining_seconds()
+        if self.retries_left <= 0:
+            raise RuntimeError("retry budget exhausted")
+        if remaining is not None and remaining <= 0:
+            raise RuntimeError("deadline exhausted")
+        self.retries_left -= 1
+        self.attempts += 1
+        return remaining
+
+    def admissible(self) -> Optional[str]:
+        """None when a retry may proceed, else which budget ran out
+        (``"retry-budget"`` or ``"deadline"``)."""
+        if self.retries_left <= 0:
+            return "retry-budget"
+        remaining = self.remaining_seconds()
+        if remaining is not None and remaining <= 0:
+            return "deadline"
+        return None
+
+
+def jittered_backoff(
+    attempt: int,
+    *,
+    base_seconds: float,
+    cap_seconds: float,
+    rng: random.Random,
+) -> float:
+    """Capped exponential backoff with full jitter, seeded by the caller.
+
+    ``attempt`` is 0-based (the first restart waits around
+    ``base_seconds``).  The draw is uniform over ``(0, span]`` where
+    ``span = min(cap, base * 2**attempt)`` — AWS-style full jitter, which
+    decorrelates simultaneous restarts — but floored at ``span / 2`` so a
+    crash-looping worker cannot hot-spin on a near-zero draw.
+    """
+    if base_seconds < 0 or cap_seconds < 0:
+        raise ValueError("backoff bounds must be non-negative")
+    span = min(cap_seconds, base_seconds * (2.0 ** max(0, attempt)))
+    return span * (0.5 + 0.5 * rng.random())

@@ -21,7 +21,12 @@ from repro.service.fingerprint import (
 )
 from repro.service.plancache import CachedPlan, CacheStats, PlanCache
 from repro.service.executor_pool import ExecutorPool
-from repro.service.metrics import LatencyStat, ServiceMetrics, render_snapshot
+from repro.service.metrics import (
+    LatencyStat,
+    ServiceMetrics,
+    SupervisorMetrics,
+    render_snapshot,
+)
 from repro.service.server import QueryService
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "ExecutorPool",
     "LatencyStat",
     "ServiceMetrics",
+    "SupervisorMetrics",
     "render_snapshot",
     "QueryService",
 ]

@@ -378,6 +378,114 @@ class ServiceMetrics:
         return self.registry.render_text()
 
 
+class SupervisorMetrics:
+    """Cluster self-healing counters for a supervised shard router.
+
+    Registry-backed like :class:`ServiceMetrics` (``shard_*`` instrument
+    names), with one :class:`LatencyStat` for shard recovery times — the
+    down-to-serving interval per restart — so availability reports can
+    quote exact recovery percentiles even after cross-run merging.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._lock = make_lock("SupervisorMetrics._lock")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._worker_deaths = reg.counter(
+            "shard_worker_deaths_total",
+            help="Worker processes observed dead by the watchdog",
+        )
+        self._restarts = reg.counter(
+            "shard_worker_restarts_total",
+            help="Worker processes respawned by the supervisor",
+        )
+        self._breaker_opens = reg.counter(
+            "shard_breaker_opens_total",
+            help="Shard restart budgets exhausted (breaker opened)",
+        )
+        self._failovers = reg.counter(
+            "shard_failovers_total",
+            help="In-flight queries re-dispatched to a failover shard",
+        )
+        self._unavailable = reg.counter(
+            "shard_unavailable_total",
+            help="Queries failed with ShardUnavailable (budgets exhausted)",
+        )
+        self._ring_epochs = reg.counter(
+            "shard_ring_epochs_total",
+            help="Ring epoch bumps (route-LRU invalidations)",
+        )
+        self._recovery = LatencyStat()
+
+    @property
+    def worker_deaths(self) -> int:
+        return self._worker_deaths.value
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts.value
+
+    @property
+    def breaker_opens(self) -> int:
+        return self._breaker_opens.value
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers.value
+
+    @property
+    def unavailable(self) -> int:
+        return self._unavailable.value
+
+    @property
+    def ring_epochs(self) -> int:
+        return self._ring_epochs.value
+
+    def record_worker_death(self) -> None:
+        with self._lock:
+            self._worker_deaths.inc()
+
+    def record_restart(self) -> None:
+        with self._lock:
+            self._restarts.inc()
+
+    def record_breaker_open(self) -> None:
+        with self._lock:
+            self._breaker_opens.inc()
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self._failovers.inc()
+
+    def record_unavailable(self) -> None:
+        with self._lock:
+            self._unavailable.inc()
+
+    def record_ring_epoch(self) -> None:
+        with self._lock:
+            self._ring_epochs.inc()
+
+    def observe_recovery(self, seconds: float) -> None:
+        with self._lock:
+            self._recovery.observe(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "worker_deaths": self._worker_deaths.snapshot(),
+                "restarts": self._restarts.snapshot(),
+                "breaker_opens": self._breaker_opens.snapshot(),
+                "failovers": self._failovers.snapshot(),
+                "unavailable": self._unavailable.snapshot(),
+                "ring_epochs": self._ring_epochs.snapshot(),
+                "recovery_seconds": self._recovery.snapshot(),
+            }
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured exposition of the underlying registry."""
+        return self.registry.render_text()
+
+
 def render_snapshot(snapshot: Dict[str, object], indent: str = "") -> str:
     """Human-readable multi-line rendering of a metrics snapshot."""
     lines = []

@@ -13,6 +13,9 @@ deterministic worker processes:
   tracer, fault injector) behind a request/response queue pair;
 * :mod:`repro.shard.router` — :class:`ShardRouter`: spawn, route,
   multiplex, watch liveness, drain gracefully;
+* :mod:`repro.shard.supervisor` — :class:`ShardSupervisor`: self-healing
+  (seeded restarts with jittered backoff and a per-shard breaker, ring
+  failover, deadline-aware retries of crash-stranded queries);
 * :mod:`repro.shard.frontdoor` — :class:`AsyncFrontDoor`: an asyncio
   submission front with per-shard backpressure;
 * :mod:`repro.shard.aggregate` — merging per-shard metric snapshots and
@@ -35,6 +38,7 @@ from repro.shard.messages import (
     QueryAnswer,
     QueryFailure,
     QueryRequest,
+    RestartEvent,
     SnapshotCommand,
     SnapshotReply,
     WorkerExit,
@@ -43,6 +47,7 @@ from repro.shard.messages import (
     encode_error,
 )
 from repro.shard.router import ShardRouter
+from repro.shard.supervisor import ShardSupervisor, SupervisorPolicy
 from repro.shard.worker import ShardConfig, shard_worker_main
 
 __all__ = [
@@ -53,10 +58,13 @@ __all__ = [
     "QueryAnswer",
     "QueryFailure",
     "QueryRequest",
+    "RestartEvent",
     "ShardConfig",
     "ShardRouter",
+    "ShardSupervisor",
     "SnapshotCommand",
     "SnapshotReply",
+    "SupervisorPolicy",
     "WorkerExit",
     "WorkerReady",
     "decode_error",

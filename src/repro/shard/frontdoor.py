@@ -224,8 +224,16 @@ class AsyncFrontDoor:
             item = await queue.get()
             if item is _CLOSE:
                 return
-            await semaphore.acquire()
+            # Reject dead items *before* taking a semaphore slot: an
+            # expired or abandoned submission must not strand dispatch
+            # capacity behind it (the slot would only come back when the
+            # collector relayed a completion that will never happen).
             if item.future.done():  # caller gave up while queued
+                continue
+            if self._expired(item):
+                continue
+            await semaphore.acquire()
+            if item.future.done():  # gave up while we waited for a slot
                 semaphore.release()
                 continue
             remaining = item.deadline_seconds
@@ -234,14 +242,7 @@ class AsyncFrontDoor:
                 remaining = item.deadline_seconds - waited
                 if remaining <= 0:
                     semaphore.release()
-                    self._expired_in_queue += 1
-                    item.future.set_exception(
-                        DeadlineExceeded(
-                            item.deadline_seconds,
-                            waited,
-                            site="shard.frontdoor",
-                        )
-                    )
+                    self._expire(item, waited)
                     continue
             try:
                 shard_future = self.router.submit(
@@ -258,6 +259,26 @@ class AsyncFrontDoor:
                     self._relay(fut, item, semaphore)
                 )
             )
+
+    def _expired(self, item: _Submission) -> bool:
+        """Fail an already-expired submission; True when it was dead."""
+        if item.deadline_seconds is None:
+            return False
+        waited = self._loop.time() - item.enqueued_at
+        if waited < item.deadline_seconds:
+            return False
+        self._expire(item, waited)
+        return True
+
+    def _expire(self, item: _Submission, waited: float) -> None:
+        self._expired_in_queue += 1
+        item.future.set_exception(
+            DeadlineExceeded(
+                item.deadline_seconds,
+                waited,
+                site="shard.frontdoor",
+            )
+        )
 
     def _relay(self, shard_future, item: _Submission, semaphore) -> None:
         """Runs on the router's collector thread: hop back onto the loop."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Tuple
+from typing import Collection, Dict, List, Tuple
 
 
 def _ring_hash(data: str) -> int:
@@ -57,13 +57,30 @@ class ConsistentHashRing:
         self._points = [p for p, _ in points]
         self._owners = [s for _, s in points]
 
-    def shard_for(self, key: str) -> int:
-        """The shard owning ``key`` (first ring point clockwise of it)."""
+    def shard_for(self, key: str, exclude: Collection[int] = ()) -> int:
+        """The shard owning ``key`` (first ring point clockwise of it).
+
+        With ``exclude`` (the supervised router's set of down shards),
+        the walk continues clockwise past virtual nodes of excluded
+        shards to the next live owner — the classic consistent-hash
+        failover: keys of a down shard spill to its ring successors while
+        every other key keeps its original owner, so a recovered shard
+        gets its exact template slice back.
+
+        Raises:
+            LookupError: every shard is excluded.
+        """
         point = _ring_hash(key)
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
             index = 0
-        return self._owners[index]
+        if not exclude:
+            return self._owners[index]
+        for step in range(len(self._owners)):
+            owner = self._owners[(index + step) % len(self._owners)]
+            if owner not in exclude:
+                return owner
+        raise LookupError("no live shard on the ring")
 
     def distribution(self, keys: "List[str]") -> Dict[int, int]:
         """How many of ``keys`` each shard owns (diagnostics, tests)."""

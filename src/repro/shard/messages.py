@@ -83,10 +83,16 @@ class DrainCommand:
 
 @dataclass
 class WorkerReady:
-    """Sent once by each worker after its service is built and serving."""
+    """Sent once by each worker after its service is built and serving.
+
+    ``incarnation`` distinguishes supervised restarts of the same shard:
+    the router ignores ready messages from incarnations it no longer
+    tracks (a worker that managed to announce itself just before dying).
+    """
 
     shard_id: int
     pid: int
+    incarnation: int = 0
 
 
 @dataclass
@@ -160,6 +166,73 @@ class SnapshotReply:
 
 
 @dataclass
+class RestartEvent:
+    """One supervision transition of a shard worker, in plain-data form.
+
+    The supervisor records these for the cluster slow log and the
+    ``supervisor`` section of the router snapshot; :meth:`to_entry` /
+    :meth:`from_entry` give the record a stable dict form (the shape that
+    crosses snapshot-merge boundaries), mirroring the error codec's
+    round-trip discipline.
+
+    Attributes:
+        shard_id: which shard the event concerns.
+        kind: ``"worker-death"``, ``"restart-scheduled"``,
+            ``"worker-restarted"``, ``"shard-recovered"``, or
+            ``"breaker-open"``.
+        incarnation: the worker incarnation the event applies to
+            (0 = the original process; each restart increments it).
+        attempt: consecutive restart attempt number since the shard was
+            last healthy (0 when not a restart event).
+        exitcode: the dead process's exit code, when known.
+        backoff_seconds: the jittered backoff chosen before the restart
+            (0.0 when not a restart event).
+        inflight_lost: in-flight queries stranded by a death.
+    """
+
+    shard_id: int
+    kind: str
+    incarnation: int = 0
+    attempt: int = 0
+    exitcode: Optional[int] = None
+    backoff_seconds: float = 0.0
+    inflight_lost: int = 0
+
+    def to_entry(self) -> Dict[str, object]:
+        """The stable dict form used in slow-log events and snapshots."""
+        return {
+            "shard_id": self.shard_id,
+            "kind": self.kind,
+            "incarnation": self.incarnation,
+            "attempt": self.attempt,
+            "exitcode": self.exitcode,
+            "backoff_seconds": self.backoff_seconds,
+            "inflight_lost": self.inflight_lost,
+        }
+
+    @classmethod
+    def from_entry(cls, entry: Dict[str, object]) -> "RestartEvent":
+        """Rebuild an event from :meth:`to_entry`'s dict (round-trips)."""
+        return cls(
+            shard_id=int(entry["shard_id"]),  # type: ignore[arg-type]
+            kind=str(entry["kind"]),
+            incarnation=int(entry.get("incarnation", 0)),  # type: ignore[arg-type]
+            attempt=int(entry.get("attempt", 0)),  # type: ignore[arg-type]
+            exitcode=(
+                None
+                if entry.get("exitcode") is None
+                else int(entry["exitcode"])  # type: ignore[arg-type]
+            ),
+            backoff_seconds=float(
+                entry.get("backoff_seconds", 0.0)  # type: ignore[arg-type]
+            ),
+            inflight_lost=int(
+                entry.get("inflight_lost", 0)  # type: ignore[arg-type]
+            ),
+        )
+
+
+@dataclass
 class WorkerExit:
     """The worker's last message: final state for cross-shard aggregation.
 
@@ -177,6 +250,7 @@ class WorkerExit:
             None — workers run their own
             :class:`~repro.analysis.lockwitness.LockWitness` under
             ``HDQO_LOCKCHECK=1`` and report rather than die.
+        incarnation: which supervised incarnation of the shard exited.
     """
 
     shard_id: int
@@ -187,6 +261,7 @@ class WorkerExit:
     spans_dropped: int = 0
     open_spans: int = 0
     lock_violation: Optional[str] = None
+    incarnation: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +282,7 @@ _ERROR_FIELDS: Dict[str, Tuple[str, ...]] = {
     "ServiceOverloaded": ("queued", "capacity"),
     "SqlSyntaxError": ("args0", "position"),
     "DecompositionNotFound": ("args0", "width"),
+    "ShardUnavailable": ("args0", "shard_id", "attempts", "reason"),
 }
 
 #: Error types whose constructor takes just a message string.

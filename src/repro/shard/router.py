@@ -26,6 +26,17 @@ Design points that keep the boundary honest:
   worker that *dies* fails its in-flight futures with
   :class:`~repro.errors.ShardError` from the collector's liveness
   watchdog: every submitted query resolves, correct-or-explicit-error;
+* **the cluster can heal itself** — with a
+  :class:`~repro.shard.supervisor.SupervisorPolicy`, a dead worker is
+  restarted (seeded jittered backoff, per-shard budget, shard-level
+  circuit breaker), its templates fail over to the next live node on the
+  ring (every down/up transition bumps a *ring epoch* that invalidates
+  the route LRU), and its stranded in-flight queries are retried on the
+  failover shard under a deadline-aware retry budget — queries are
+  read-only and idempotent, and a retry never outlives the original
+  deadline.  Only when the budget, the deadline, or the ring itself is
+  exhausted does the caller see a typed
+  :class:`~repro.errors.ShardUnavailable`;
 * **shutdown is coordinated** — :meth:`drain` broadcasts a
   :class:`~repro.shard.messages.DrainCommand`, workers drain their
   services (cancelling queued queries, aborting in-flight ones at
@@ -44,8 +55,9 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
 from threading import Event, Thread
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Union
 
 from repro.analysis.lockwitness import make_lock
 from repro.engine.dbms import DBMSResult
@@ -54,6 +66,7 @@ from repro.errors import (
     ReproError,
     ServiceClosed,
     ShardError,
+    ShardUnavailable,
 )
 from repro.query.parser import parse_sql
 from repro.query.translate import sql_to_conjunctive
@@ -76,6 +89,7 @@ from repro.shard.messages import (
     WorkerExit,
     WorkerReady,
 )
+from repro.shard.supervisor import ShardSupervisor, SupervisorPolicy
 from repro.shard.worker import ShardConfig, shard_worker_main
 
 #: Matches SQL constants (quoted strings, numbers) for the routing LRU key.
@@ -92,12 +106,15 @@ _DRAIN_MARGIN = 15.0
 
 
 class _ShardHandle:
-    """Router-side state of one worker process."""
+    """Router-side state of one worker process (one incarnation)."""
 
-    def __init__(self, shard_id: int, process, request_queue) -> None:
+    def __init__(
+        self, shard_id: int, process, request_queue, incarnation: int = 0
+    ) -> None:
         self.shard_id = shard_id
         self.process = process
         self.request_queue = request_queue
+        self.incarnation = incarnation
         self.ready = Event()
         self.exited = Event()
         self.exit: Optional[WorkerExit] = None
@@ -106,6 +123,26 @@ class _ShardHandle:
         self.inflight = 0
         self.peak_inflight = 0
         self.dispatched = 0
+
+
+@dataclass
+class _PendingEntry:
+    """One in-flight request and everything needed to retry it.
+
+    ``deadline_at`` anchors the *original* deadline on the router's
+    monotonic clock: a retry gets only what remains of it, never a fresh
+    budget.  ``sql``/``work_budget`` are kept so a crash-stranded query
+    can be re-dispatched verbatim to a failover shard.
+    """
+
+    future: "Future[DBMSResult]"
+    shard_id: int
+    submitted: float  # perf_counter at first dispatch
+    sql: str
+    work_budget: Optional[int]
+    deadline_at: Optional[float]  # monotonic instant, None = unbounded
+    attempts: int = 1
+    retries_left: int = 0
 
 
 class ShardRouter:
@@ -122,6 +159,10 @@ class ShardRouter:
             :meth:`submit` blocks; defaults to the shard's own admission
             bound ``workers + queue_capacity``.
         start_timeout: seconds to wait for every worker's ready message.
+        supervise: a :class:`~repro.shard.supervisor.SupervisorPolicy`
+            enables self-healing (worker restarts, ring failover,
+            deadline-aware query retries); None keeps the historical
+            fail-fast behavior byte-for-byte.
     """
 
     def __init__(
@@ -132,6 +173,7 @@ class ShardRouter:
         replicas: int = 128,
         max_inflight_per_shard: Optional[int] = None,
         start_timeout: float = 120.0,
+        supervise: Optional[SupervisorPolicy] = None,
     ):
         if shards < 1:
             raise ValueError("a shard cluster needs at least one shard")
@@ -158,7 +200,20 @@ class ShardRouter:
         self._latencies: List[float] = []
         self._registry_exports: Dict[int, Dict[str, Any]] = {}
         self._closed = False
+        # Drain coordination: the gate serializes drain() callers (the
+        # first runs the shutdown, late callers block then reuse its
+        # verdict), and it is always acquired *before* the state lock.
+        self._drain_gate = make_lock("ShardRouter._drain")
         self._drained: Optional[bool] = None
+
+        # Supervision / failover state (all guarded by the state lock).
+        self._down: Set[int] = set()  # shards currently without a live worker
+        self._ring_epoch = 0  # bumps on every down/up transition
+        self._supervision_active = False  # True once startup completed
+        self._dead_handles: List[_ShardHandle] = []  # crashed incarnations
+        self.supervisor: Optional[ShardSupervisor] = (
+            ShardSupervisor(self, supervise) if supervise is not None else None
+        )
 
         ctx = multiprocessing.get_context("spawn")
         self._response_queue = ctx.Queue()
@@ -184,6 +239,12 @@ class ShardRouter:
             handle.process.start()
         self._collector.start()
         self._await_ready(start_timeout)
+        if self.supervisor is not None:
+            # Only now: startup failures above stay fail-fast (the
+            # cluster never served), and the watchdog's supervised path
+            # can assume any not-ready handle is a crashed restart.
+            self._supervision_active = True
+            self.supervisor.start()
 
     # ------------------------------------------------------------------
     # Startup
@@ -228,6 +289,15 @@ class ShardRouter:
         translate + canonical fingerprint, exactly the template identity
         the shard-side plan cache keys on — which is what guarantees that
         isomorphic queries share both a shard *and* a cache entry.
+
+        Under supervision, shards whose worker is down are excluded: the
+        ring walk continues clockwise to the next live node (failover).
+        The LRU only ever holds routes computed against the *current*
+        ring epoch — every down/up transition clears it — so a recovered
+        shard gets its template slice back on the next miss.
+
+        Raises:
+            ShardUnavailable: every shard is down (supervised only).
         """
         masked = _CONSTANT_RE.sub("?", sql)
         with self._room:
@@ -237,13 +307,24 @@ class ShardRouter:
                 self._route_hits += 1
                 return shard_id
             self._route_misses += 1
+            exclude: FrozenSet[int] = frozenset(self._down)
         translation = sql_to_conjunctive(parse_sql(sql), self._schema)
         fingerprint = fingerprint_translation(translation)
-        shard_id = self.ring.shard_for(fingerprint.key)
+        try:
+            shard_id = self.ring.shard_for(fingerprint.key, exclude)
+        except LookupError:
+            raise ShardUnavailable(
+                "no live shard on the ring (every worker is down)",
+                reason="no-live-shard",
+            ) from None
         with self._room:
-            self._routes[masked] = shard_id
-            if len(self._routes) > _ROUTE_CACHE_CAPACITY:
-                self._routes.popitem(last=False)
+            # Cache only if the down-set is still the one we routed
+            # against; a concurrent epoch bump means this route may be
+            # stale, and stale entries must never enter the LRU.
+            if frozenset(self._down) == exclude:
+                self._routes[masked] = shard_id
+                if len(self._routes) > _ROUTE_CACHE_CAPACITY:
+                    self._routes.popitem(last=False)
         return shard_id
 
     # ------------------------------------------------------------------
@@ -265,46 +346,73 @@ class ShardRouter:
 
         Raises:
             ServiceClosed: the router is draining or closed.
-            ShardError: the target shard's worker is dead.
+            ShardError: the target shard's worker is dead (unsupervised;
+                a supervised router re-routes around dead shards and
+                raises :class:`~repro.errors.ShardUnavailable` only when
+                no live shard remains).
         """
-        shard_id = self.route(sql)
-        handle = self._handles[shard_id]
         future: "Future[DBMSResult]" = Future()
         future.set_running_or_notify_cancel()
-        with self._room:
-            while (
-                not self._closed
-                and not handle.dead
-                and handle.inflight >= self.max_inflight_per_shard
-            ):
-                self._room.wait()
-            if self._closed:
-                raise ServiceClosed("shard router is closed")
-            if handle.dead:
-                raise ShardError(
-                    f"shard {shard_id} worker is dead", shard_id=shard_id
-                )
-            request_id = self._next_request_id
-            self._next_request_id += 1
-            handle.inflight += 1
-            handle.dispatched += 1
-            handle.peak_inflight = max(
-                handle.peak_inflight, handle.inflight
-            )
-            self._pending[request_id] = (
-                future,
-                shard_id,
-                time.perf_counter(),
-            )
-        handle.request_queue.put(
-            QueryRequest(
-                request_id=request_id,
-                sql=sql,
-                work_budget=work_budget,
-                deadline_seconds=deadline_seconds,
-            )
+        deadline_at = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
         )
-        return future
+        retries = (
+            self.supervisor.policy.retry.max_retries
+            if self.supervisor is not None
+            else 0
+        )
+        reroutes = 0
+        while True:
+            shard_id = self.route(sql)
+            handle = self._handles[shard_id]
+            with self._room:
+                while (
+                    not self._closed
+                    and not handle.dead
+                    and self._handles[shard_id] is handle
+                    and handle.inflight >= self.max_inflight_per_shard
+                ):
+                    self._room.wait()
+                if self._closed:
+                    raise ServiceClosed("shard router is closed")
+                if handle.dead or self._handles[shard_id] is not handle:
+                    # The target died (or was replaced) while we waited.
+                    # Supervised: route again against the updated
+                    # down-set; bounded so a mass die-off cannot spin.
+                    if self.supervisor is not None and reroutes < self.shards:
+                        reroutes += 1
+                        continue
+                    raise ShardError(
+                        f"shard {shard_id} worker is dead",
+                        shard_id=shard_id,
+                    )
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                handle.inflight += 1
+                handle.dispatched += 1
+                handle.peak_inflight = max(
+                    handle.peak_inflight, handle.inflight
+                )
+                self._pending[request_id] = _PendingEntry(
+                    future=future,
+                    shard_id=shard_id,
+                    submitted=time.perf_counter(),
+                    sql=sql,
+                    work_budget=work_budget,
+                    deadline_at=deadline_at,
+                    retries_left=retries,
+                )
+            handle.request_queue.put(
+                QueryRequest(
+                    request_id=request_id,
+                    sql=sql,
+                    work_budget=work_budget,
+                    deadline_seconds=deadline_seconds,
+                )
+            )
+            return future
 
     def run_all(
         self,
@@ -368,8 +476,14 @@ class ShardRouter:
                 continue
             if isinstance(message, WorkerReady):
                 handle = self._handles[message.shard_id]
+                if message.incarnation != handle.incarnation:
+                    continue  # a stale incarnation's ready; ignore
                 handle.pid = message.pid
                 handle.ready.set()
+                if self._supervision_active:
+                    self._on_worker_ready(
+                        message.shard_id, message.incarnation
+                    )
             elif isinstance(message, QueryAnswer):
                 self._resolve(
                     message.request_id, message.shard_id, message
@@ -392,6 +506,8 @@ class ShardRouter:
                     )
             elif isinstance(message, WorkerExit):
                 handle = self._handles[message.shard_id]
+                if message.incarnation != handle.incarnation:
+                    continue  # a stale incarnation's exit; ignore
                 handle.exit = message
                 with self._room:
                     self._registry_exports[message.shard_id] = (
@@ -409,24 +525,36 @@ class ShardRouter:
             entry = self._pending.pop(request_id, None)
             if entry is None:
                 return  # already failed by the watchdog or drain
-            future, _, submitted = entry
-            handle = self._handles[shard_id]
+            handle = self._handles[entry.shard_id]
             handle.inflight -= 1
-            self._latencies.append(time.perf_counter() - submitted)
+            self._latencies.append(
+                time.perf_counter() - entry.submitted
+            )
             self._room.notify_all()
-        if future.done():
+        if entry.future.done():
             return
         if isinstance(message, QueryAnswer):
-            future.set_result(message.to_result())
+            entry.future.set_result(message.to_result())
         else:
-            future.set_exception(message.to_error())
+            entry.future.set_exception(message.to_error())
 
     def _check_liveness(self) -> None:
-        """Fail in-flight futures of shards whose worker process died."""
-        for handle in self._handles:
+        """React to dead worker processes (collector thread).
+
+        Unsupervised: fail the shard's in-flight futures and leave the
+        shard dead (the historical behavior).  Supervised: mark the
+        shard down (epoch bump, LRU clear), hand the death to the
+        supervisor for a scheduled restart, and retry-or-fail every
+        stranded in-flight query.  The supervised path also covers
+        workers that crash *during a restart's startup* — the not-ready
+        guard applies only before supervision is active.
+        """
+        for handle in list(self._handles):
             if handle.dead or handle.exited.is_set():
                 continue
-            if handle.process.is_alive() or not handle.ready.is_set():
+            if handle.process.is_alive():
+                continue
+            if not self._supervision_active and not handle.ready.is_set():
                 continue
             # The process exited without a WorkerExit: a crash.  (A clean
             # worker posts WorkerExit before leaving, and the queue feeder
@@ -434,29 +562,230 @@ class ShardRouter:
             # — has been or will be observed; losing this race only means
             # failing an already-resolved request id, which _resolve
             # ignores.)
-            handle.dead = True
-            self._fail_shard_pending(
-                handle,
-                f"shard {handle.shard_id} worker died (exit code "
-                f"{handle.process.exitcode}) with requests in flight",
-            )
+            if self._supervision_active:
+                self._on_worker_death(handle)
+            else:
+                handle.dead = True
+                self._fail_shard_pending(
+                    handle,
+                    f"shard {handle.shard_id} worker died (exit code "
+                    f"{handle.process.exitcode}) with requests in flight",
+                )
 
     def _fail_shard_pending(self, handle: _ShardHandle, reason: str) -> None:
         with self._room:
             doomed = [
-                (request_id, future)
-                for request_id, (future, shard_id, _) in self._pending.items()
-                if shard_id == handle.shard_id
+                (request_id, entry)
+                for request_id, entry in self._pending.items()
+                if entry.shard_id == handle.shard_id
             ]
             for request_id, _ in doomed:
                 del self._pending[request_id]
             handle.inflight = 0
             self._room.notify_all()
-        for _, future in doomed:
-            if not future.done():
-                future.set_exception(
+        for _, entry in doomed:
+            if not entry.future.done():
+                entry.future.set_exception(
                     ShardError(reason, shard_id=handle.shard_id)
                 )
+
+    # ------------------------------------------------------------------
+    # Supervision: death, failover retries, recovery, respawn
+    # ------------------------------------------------------------------
+
+    def _on_worker_death(self, handle: _ShardHandle) -> None:
+        """Supervised death handling: mark down, heal, retry (collector).
+
+        Everything routing-related happens atomically under the state
+        lock — the dead flag, the down-set, the ring epoch bump, and the
+        route-LRU invalidation — so a concurrent :meth:`route` either
+        sees the shard live (and its dispatch is swept into the doomed
+        set here, or bounced by :meth:`submit`'s dead-handle re-route)
+        or already routes around it.  The supervisor is notified
+        *outside* the lock (lock order: supervisor lock is never taken
+        under the router state lock).
+        """
+        exitcode = handle.process.exitcode
+        with self._room:
+            if handle.dead or self._handles[handle.shard_id] is not handle:
+                return  # another path already handled this incarnation
+            handle.dead = True
+            self._down.add(handle.shard_id)
+            self._ring_epoch += 1
+            self._routes.clear()
+            doomed_ids = [
+                request_id
+                for request_id, entry in self._pending.items()
+                if entry.shard_id == handle.shard_id
+            ]
+            doomed = [self._pending.pop(request_id) for request_id in doomed_ids]
+            handle.inflight = 0
+            self._room.notify_all()
+        supervisor = self.supervisor
+        assert supervisor is not None  # guarded by _supervision_active
+        supervisor.metrics.record_ring_epoch()
+        supervisor.on_worker_death(handle.shard_id, exitcode, len(doomed))
+        for entry in doomed:
+            self._retry_or_fail(entry, handle.shard_id, exitcode)
+
+    def _retry_or_fail(
+        self,
+        entry: _PendingEntry,
+        dead_shard: int,
+        exitcode: Optional[int],
+    ) -> None:
+        """Re-dispatch a crash-stranded query, or fail it explicitly.
+
+        Queries are read-only and idempotent, so a retry is always
+        *correct*; the only questions are budgets.  A retry must fit
+        inside the original deadline (``deadline_at`` never moves) and
+        inside the per-query retry budget; when either is exhausted — or
+        no live shard remains — the caller gets a typed
+        :class:`~repro.errors.ShardUnavailable`.
+        """
+        if entry.future.done():
+            return
+        denial: Optional[str] = None
+        remaining: Optional[float] = None
+        if entry.retries_left <= 0:
+            denial = "retry-budget"
+        elif entry.deadline_at is not None:
+            remaining = entry.deadline_at - time.monotonic()
+            if remaining <= 0:
+                denial = "deadline"
+        if denial is None:
+            denial = self._dispatch_retry(entry, remaining)
+        if denial is None:
+            return  # re-dispatched to a failover shard
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.metrics.record_unavailable()
+        detail = {
+            "retry-budget": "retry budget exhausted",
+            "deadline": "original deadline exhausted",
+            "no-live-shard": "no live failover shard",
+            "draining": "router is draining",
+        }[denial]
+        entry.future.set_exception(
+            ShardUnavailable(
+                f"shard {dead_shard} worker died (exit code {exitcode}) "
+                f"with the query in flight; {detail} after "
+                f"{entry.attempts} attempt(s)",
+                shard_id=dead_shard,
+                attempts=entry.attempts,
+                reason=denial,
+            )
+        )
+
+    def _dispatch_retry(
+        self, entry: _PendingEntry, remaining: Optional[float]
+    ) -> Optional[str]:
+        """Dispatch one retry to a live failover shard (collector thread).
+
+        Returns None on success, else the denial reason.  The dispatch is
+        non-blocking — the collector must never wait on the room
+        condition — so it rides above the per-shard inflight bound; the
+        worker's own admission control is the backstop and answers with
+        a typed ``ServiceOverloaded`` if the failover shard is saturated.
+        """
+        for _ in range(self.shards):
+            try:
+                target = self.route(entry.sql)
+            except ShardUnavailable:
+                return "no-live-shard"
+            with self._room:
+                if self._closed:
+                    return "draining"
+                handle = self._handles[target]
+                if handle.dead:
+                    continue  # raced another death; route again
+                request_id = self._next_request_id
+                self._next_request_id += 1
+                handle.inflight += 1
+                handle.dispatched += 1
+                handle.peak_inflight = max(
+                    handle.peak_inflight, handle.inflight
+                )
+                self._pending[request_id] = _PendingEntry(
+                    future=entry.future,
+                    shard_id=target,
+                    submitted=entry.submitted,
+                    sql=entry.sql,
+                    work_budget=entry.work_budget,
+                    deadline_at=entry.deadline_at,
+                    attempts=entry.attempts + 1,
+                    retries_left=entry.retries_left - 1,
+                )
+            handle.request_queue.put(
+                QueryRequest(
+                    request_id=request_id,
+                    sql=entry.sql,
+                    work_budget=entry.work_budget,
+                    deadline_seconds=remaining,
+                )
+            )
+            supervisor = self.supervisor
+            if supervisor is not None:
+                supervisor.metrics.record_failover()
+            return None
+        return "no-live-shard"
+
+    def _on_worker_ready(self, shard_id: int, incarnation: int) -> None:
+        """A (re)started worker is serving: restore its ring ownership."""
+        with self._room:
+            if shard_id not in self._down:
+                return  # initial startup, not a recovery
+            self._down.discard(shard_id)
+            self._ring_epoch += 1
+            self._routes.clear()
+            self._room.notify_all()
+        supervisor = self.supervisor
+        assert supervisor is not None
+        supervisor.metrics.record_ring_epoch()
+        supervisor.on_worker_ready(shard_id, incarnation)
+
+    def _respawn_shard(self, shard_id: int, incarnation: int) -> bool:
+        """Spawn a replacement worker (supervisor thread).
+
+        The replacement reuses the cluster's :class:`ShardConfig`
+        verbatim — every per-shard source of randomness derives from
+        ``config.seed + shard_id``, so the new incarnation rebuilds an
+        identical serving world (seeded determinism).  A fresh request
+        queue discards whatever the dead incarnation never consumed
+        (those queries were already retried or failed explicitly).
+
+        Returns False when the router is draining (no spawn happened).
+        """
+        with self._room:
+            if self._closed:
+                return False
+            old = self._handles[shard_id]
+        ctx = multiprocessing.get_context("spawn")
+        request_queue = ctx.Queue()
+        process = ctx.Process(
+            target=shard_worker_main,
+            args=(shard_id, self.config, request_queue,
+                  self._response_queue),
+            kwargs={"incarnation": incarnation},
+            name=f"hdqo-shard-{shard_id}-r{incarnation}",
+            daemon=True,
+        )
+        process.start()
+        handle = _ShardHandle(
+            shard_id, process, request_queue, incarnation=incarnation
+        )
+        with self._room:
+            if self._closed:
+                process.kill()
+                return False
+            # The old incarnation's queue is intentionally left open:
+            # a submitter that raced the death may still hold a
+            # reference and put() into it (harmless — nothing reads it);
+            # drain() closes it with the rest.
+            self._dead_handles.append(old)
+            self._handles[shard_id] = handle
+            self._room.notify_all()
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -508,6 +837,8 @@ class ShardRouter:
         with self._room:
             router = {
                 "shards": self.shards,
+                "ring_epoch": self._ring_epoch,
+                "down_shards": sorted(self._down),
                 "routing_cache": {
                     "hits": self._route_hits,
                     "misses": self._route_misses,
@@ -517,6 +848,7 @@ class ShardRouter:
                 "per_shard": {
                     handle.shard_id: {
                         "pid": handle.pid,
+                        "incarnation": handle.incarnation,
                         "dispatched": handle.dispatched,
                         "inflight": handle.inflight,
                         "peak_inflight": handle.peak_inflight,
@@ -526,18 +858,33 @@ class ShardRouter:
                     for handle in self._handles
                 },
             }
-        return {
+        merged = merge_metric_snapshots(
+            [per_shard[s] for s in sorted(per_shard)]
+        )
+        data: Dict[str, Any] = {
             "router": router,
             "shards": {
                 shard_id: per_shard[shard_id]
                 for shard_id in sorted(per_shard)
             },
             "cache_hit_rates": shard_cache_hit_rates(per_shard),
-            "merged": merge_metric_snapshots(
-                [per_shard[s] for s in sorted(per_shard)]
-            ),
+            "merged": merged,
             "unresponsive": unresponsive,
         }
+        if self.supervisor is not None:
+            data["supervisor"] = self.supervisor.snapshot()
+            # Worker-death / restart events belong in the cluster slow
+            # log next to the per-query error events the shards report.
+            insights = merged.get("insights")
+            if isinstance(insights, dict):
+                slow_log = insights.setdefault(
+                    "slow_log", {"outliers": {}, "events": []}
+                )
+                if isinstance(slow_log, dict):
+                    events = slow_log.setdefault("events", [])
+                    if isinstance(events, list):
+                        events.extend(self.supervisor.events())
+        return data
 
     def render_prometheus(self) -> str:
         """One Prometheus exposition merged from every shard's registry.
@@ -566,12 +913,38 @@ class ShardRouter:
             )
         return peak / self.max_inflight_per_shard
 
+    def shard_pids(self) -> Dict[int, Optional[int]]:
+        """Shard id → current worker pid (live shards only)."""
+        with self._room:
+            return {
+                handle.shard_id: handle.pid
+                for handle in self._handles
+                if not handle.dead
+            }
+
+    def live_shards(self) -> List[int]:
+        """Shards whose current worker is alive and serving."""
+        with self._room:
+            handles = list(self._handles)
+        return [
+            handle.shard_id
+            for handle in handles
+            if not handle.dead
+            and handle.ready.is_set()
+            and handle.process.is_alive()
+        ]
+
+    def ring_epoch(self) -> int:
+        """The current ring epoch (bumps on every down/up transition)."""
+        with self._room:
+            return self._ring_epoch
+
     # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
 
     def drain(self, grace_seconds: Optional[float] = None) -> bool:
-        """Cross-shard graceful shutdown.
+        """Cross-shard graceful shutdown (idempotent, concurrency-safe).
 
         Stops admitting, broadcasts :class:`DrainCommand` to every live
         shard (each drains its own service: queued queries cancel,
@@ -581,15 +954,31 @@ class ShardRouter:
         grace period, and fails whatever futures still dangle with
         :class:`~repro.errors.ShardError`.
 
+        Exactly one caller runs the shutdown: concurrent and repeated
+        calls block on the drain gate and return the winner's verdict.
+        Safe to call while the supervisor is mid-restart — the supervisor
+        is stopped (and joined) first, and a respawn that races the
+        close observes ``_closed`` and backs out.
+
         Returns:
             True when every shard drained cleanly (worker reported a
             clean drain, exited by itself, and left no dangling futures).
         """
-        with self._room:
+        with self._drain_gate:
             if self._drained is not None:
                 return self._drained
+            self._drained = self._drain_once(grace_seconds)
+            return self._drained
+
+    def _drain_once(self, grace_seconds: Optional[float]) -> bool:
+        with self._room:
             self._closed = True
             self._room.notify_all()
+        if self.supervisor is not None:
+            # No respawns past this point; a restart already in flight
+            # either installed its handle (and is drained below) or sees
+            # _closed and backs out.
+            self.supervisor.stop()
         for handle in self._handles:
             if not handle.dead:
                 handle.request_queue.put(
@@ -625,21 +1014,20 @@ class ShardRouter:
                 handle.inflight = 0
         if dangling:
             clean = False
-        for future, shard_id, _ in dangling:
-            if not future.done():
-                future.set_exception(
+        for entry in dangling:
+            if not entry.future.done():
+                entry.future.set_exception(
                     ShardError(
-                        f"query abandoned: shard {shard_id} did not "
-                        f"respond before drain completed",
-                        shard_id=shard_id,
+                        f"query abandoned: shard {entry.shard_id} did "
+                        f"not respond before drain completed",
+                        shard_id=entry.shard_id,
                     )
                 )
-        for handle in self._handles:
+        for handle in self._handles + self._dead_handles:
             handle.request_queue.close()
             handle.request_queue.cancel_join_thread()
         self._response_queue.close()
         self._response_queue.cancel_join_thread()
-        self._drained = clean
         return clean
 
     def close(self) -> None:

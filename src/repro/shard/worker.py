@@ -146,9 +146,20 @@ def _answer_from_result(request_id: int, shard_id: int, result) -> QueryAnswer:
 
 
 def shard_worker_main(
-    shard_id: int, config: ShardConfig, request_queue, response_queue
+    shard_id: int,
+    config: ShardConfig,
+    request_queue,
+    response_queue,
+    incarnation: int = 0,
 ) -> None:
-    """Entry point of a shard worker process (spawn target)."""
+    """Entry point of a shard worker process (spawn target).
+
+    ``incarnation`` is 0 for the original process and increments on
+    every supervised restart.  The serving world is rebuilt from the
+    *same* config either way — all per-shard randomness derives from
+    ``config.seed + shard_id`` — so a restarted shard is
+    deterministically identical to its predecessor.
+    """
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(sig, signal.SIG_IGN)
@@ -217,7 +228,11 @@ def shard_worker_main(
         finally:
             inflight.remove(request_id)
 
-    response_queue.put(WorkerReady(shard_id=shard_id, pid=os.getpid()))
+    response_queue.put(
+        WorkerReady(
+            shard_id=shard_id, pid=os.getpid(), incarnation=incarnation
+        )
+    )
 
     grace: Optional[float] = None
     while True:
@@ -288,6 +303,7 @@ def shard_worker_main(
             spans_dropped=spans_dropped,
             open_spans=open_spans,
             lock_violation=lock_violation,
+            incarnation=incarnation,
         )
     )
     # Let the feeder thread flush the exit message before the process ends.

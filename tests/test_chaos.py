@@ -375,3 +375,117 @@ class TestServiceErrorPaths:
             result = fresh.execute(sql)
             assert result.optimizer == "q-hd"
             assert result.relation.same_content(baselines[sql])
+
+
+class TestWorkerKillStorm:
+    """Crash chaos on top of the self-healing layer: SIGKILL random live
+    shard workers (~10 % per tick, at most ``SHARDS - 1`` total so the
+    ring always has a live node) while a multi-template workload runs.
+    The supervised contract is *correct or typed, then fully healed*:
+    every query resolves as the exact fault-free rows or a typed
+    :class:`~repro.errors.ReproError`, availability stays >= 99 %, and
+    the cluster returns to the full shard count before draining clean."""
+
+    def test_kill_storm_correct_or_typed_then_full_strength(self, chain_db):
+        import random
+        import signal as signal_module
+        import time
+
+        from repro.shard import ShardConfig, ShardRouter, SupervisorPolicy
+
+        dbms = SimulatedDBMS(chain_db, COMMDB_PROFILE)
+        queries = shard_storm_queries(repetitions=30)
+        answers = {}
+        for sql in queries:
+            if sql not in answers:
+                result = dbms.run_sql(sql)
+                assert result.finished
+                answers[sql] = result.relation
+
+        config = ShardConfig(
+            database=chain_db,
+            max_width=2,
+            workers=2,
+            queue_capacity=len(queries),
+            seed=42,
+            parallel_workers=PARALLEL_WORKERS,
+        )
+        policy = SupervisorPolicy(
+            max_restarts=12,
+            backoff_base_seconds=0.02,
+            backoff_cap_seconds=0.2,
+            seed=42,
+        )
+        router = ShardRouter(config, shards=SHARDS, supervise=policy)
+        stop = threading.Event()
+        kills = []
+
+        def kill(rng):
+            pids = {
+                shard_id: pid
+                for shard_id, pid in router.shard_pids().items()
+                if pid is not None
+            }
+            if not pids:
+                return
+            victim = rng.choice(sorted(pids))
+            try:
+                os.kill(pids[victim], signal_module.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                return
+            kills.append(victim)
+
+        def storm():
+            rng = random.Random(42)
+            # One guaranteed kill, then ~10 % per 10 ms tick, capped at
+            # SHARDS - 1 total so at least one shard is always live.
+            if not stop.wait(0.02):
+                kill(rng)
+            while not stop.wait(0.01) and len(kills) < SHARDS - 1:
+                if rng.random() < 0.1:
+                    kill(rng)
+
+        killer = threading.Thread(target=storm, daemon=True)
+        try:
+            killer.start()
+            outcomes = router.run_all(queries, return_exceptions=True)
+            stop.set()
+            killer.join(timeout=10.0)
+
+            correct = typed_errors = 0
+            for sql, outcome in zip(queries, outcomes):
+                if isinstance(outcome, ReproError):
+                    typed_errors += 1  # explicit, never a wrong answer
+                else:
+                    assert isinstance(outcome, DBMSResult)
+                    assert outcome.finished
+                    assert outcome.relation.same_content(answers[sql])
+                    correct += 1
+            assert correct + typed_errors == len(queries)
+            availability = correct / len(queries)
+            assert availability >= 0.99, (
+                f"availability {availability:.2%} < 99% "
+                f"({typed_errors} typed errors, {len(kills)} kills)"
+            )
+
+            # The supervisor restores the full shard count.
+            deadline = time.monotonic() + 30.0
+            while (
+                len(router.live_shards()) < SHARDS
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert sorted(router.live_shards()) == list(range(SHARDS))
+
+            # Post-storm traffic is byte-identical to the fault-free run.
+            for sql, outcome in zip(queries[:8], router.run_all(queries[:8])):
+                assert outcome.relation.same_content(answers[sql])
+
+            if kills:
+                metrics = router.snapshot()["supervisor"]["metrics"]
+                assert metrics["worker_deaths"] >= len(kills)
+                assert metrics["restarts"] >= len(kills)
+        finally:
+            stop.set()
+            assert router.drain(grace_seconds=30.0)
+        assert router.lock_violations() == {}

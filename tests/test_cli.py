@@ -261,6 +261,64 @@ class TestCommands:
         assert len(single) == 3
         assert sharded == single
 
+    def test_serve_supervised_answers_match_single_process(
+        self, capsys, monkeypatch
+    ):
+        """The acceptance bar: ``--shards N --supervise`` on a fault-free
+        batch prints result lines byte-identical to ``--shards 1``, and
+        the supervision summary reports nothing healed."""
+        import io
+
+        def run(argv, stdin):
+            monkeypatch.setattr("sys.stdin", io.StringIO(stdin))
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            lines = []
+            for line in out.splitlines():
+                parts = line.split()
+                if parts and parts[0].isdigit():
+                    lines.append(tuple(parts[:-1]))  # drop wall column
+            return lines, out
+
+        stdin = "q5\nq5\nq3\n"
+        single, _ = run(
+            ["serve", "--size-mb", "20", "--workers", "2"], stdin
+        )
+        supervised, out = run(
+            ["serve", "--size-mb", "20", "--workers", "2",
+             "--shards", "2", "--supervise", "--max-restarts", "3"],
+            stdin,
+        )
+        assert len(single) == 3
+        assert supervised == single
+        assert "supervision: deaths=0  restarts=0" in out
+
+    def test_bench_serve_kill_storm_records_resilience(
+        self, capsys, tmp_path
+    ):
+        """``bench-serve --kill-rate`` adds the resilience section —
+        availability, recovery percentiles, full-strength verdict — to
+        the report and the recorded JSON."""
+        import json
+
+        record = tmp_path / "BENCH_serving_storm.json"
+        assert main(
+            ["bench-serve", "--shards", "2", "--workers", "2",
+             "--repetitions", "4", "--kill-rate", "0.05",
+             "--record", str(record)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "availability=" in out
+        assert "recovery:" in out
+        report = json.loads(record.read_text())
+        assert report["kill_rate"] == 0.05
+        assert report["supervise"] is True
+        resilience = report["resilience"]
+        assert resilience["recovered_to_full"] is True
+        assert 0.0 <= resilience["availability"] <= 1.0
+        assert report["parity"]["checked"] is False  # storms may error
+
     def test_serve_sharded_bad_query_reported_not_crashing(
         self, capsys, monkeypatch
     ):

@@ -616,6 +616,73 @@ class TestFrontDoorSemantics:
         snapshot = asyncio.run(scenario())
         assert snapshot["expired_in_queue"] == 1
 
+    def test_expired_items_drain_without_consuming_the_slot(self):
+        """Submissions that expire *while queued* are rejected at
+        dequeue, before the semaphore acquire: they neither strand a
+        dispatch slot nor linger in the bounded queue."""
+
+        async def scenario():
+            router = _StubRouter(max_inflight_per_shard=1)
+            async with AsyncFrontDoor(router, queue_depth=8) as door:
+                blocker = asyncio.create_task(door.submit("block"))
+                await asyncio.sleep(0.05)  # blocker holds the only slot
+                doomed = [
+                    asyncio.create_task(
+                        door.submit(f"late{i}", deadline_seconds=0.01)
+                    )
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0.1)  # all three expire while queued
+                router.futures[0].set_result("done")
+                assert await blocker == "done"
+                for task in doomed:
+                    with pytest.raises(DeadlineExceeded):
+                        await task
+                # The slot came back: a fresh submission dispatches.
+                fresh = asyncio.create_task(door.submit("fresh"))
+                await asyncio.sleep(0.05)
+                router.futures[-1].set_result("done")
+                assert await fresh == "done"
+                return door.snapshot(), [s for s, _, _ in router.submitted]
+
+        snapshot, submitted = asyncio.run(scenario())
+        assert snapshot["expired_in_queue"] == 3
+        assert submitted == ["block", "fresh"]  # the doomed never dispatch
+        assert all(
+            view["queued"] == 0 for view in snapshot["per_shard"].values()
+        )
+
+    def test_abandoned_submission_skipped_at_dequeue(self):
+        """A caller that gave up while queued is dropped at dequeue
+        without taking (or leaking) a semaphore slot."""
+
+        async def scenario():
+            router = _StubRouter(max_inflight_per_shard=1)
+            async with AsyncFrontDoor(router, queue_depth=8) as door:
+                blocker = asyncio.create_task(door.submit("block"))
+                await asyncio.sleep(0.05)
+                abandoned = [
+                    asyncio.create_task(door.submit(f"gone{i}"))
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0.05)
+                for task in abandoned:
+                    task.cancel()
+                await asyncio.sleep(0.05)
+                router.futures[0].set_result("done")
+                assert await blocker == "done"
+                fresh = asyncio.create_task(door.submit("fresh"))
+                await asyncio.sleep(0.05)
+                router.futures[-1].set_result("done")
+                assert await fresh == "done"
+                for task in abandoned:
+                    with pytest.raises(asyncio.CancelledError):
+                        await task
+                return [sql for sql, _, _ in router.submitted]
+
+        submitted = asyncio.run(scenario())
+        assert submitted == ["block", "fresh"]
+
     def test_router_side_errors_surface_through_submit(self):
         async def scenario():
             router = _StubRouter()
