@@ -51,6 +51,10 @@ class Finding:
     line: int
     column: int
     message: str
+    #: Stable identity of the finding, independent of line numbers — the
+    #: handle baseline entries match on (interprocedural findings set it;
+    #: per-file findings may leave it empty).
+    key: str = ""
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.column, self.rule_id)
@@ -63,6 +67,7 @@ class Finding:
             "line": self.line,
             "column": self.column,
             "message": self.message,
+            "key": self.key,
         }
 
     def render(self) -> str:

@@ -5,19 +5,78 @@ rule applied to it), which makes the pass embarrassingly parallel; the
 driver fans file analysis out over a thread pool.  CPython's ``ast``
 module releases the GIL while parsing, and rule checking is cheap, so
 threads are enough — no process pool, no pickling.
+
+Parsing is the expensive part, so one :class:`SourceCache` is shared by
+every rule group in an invocation: the per-file battery and the
+interprocedural pass (``hdqo lint --interproc``) see the same parsed
+:class:`FileSource` objects, and each file is parsed exactly once per
+invocation (``SourceCache.parse_counts`` lets tests assert it).
 """
 
 from __future__ import annotations
 
-import ast
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.base import ERROR, FileSource, Finding, Rule
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache"})
+
+
+class SourceCache:
+    """Parse-once cache of :class:`FileSource` objects, keyed by path.
+
+    Shared across rule groups within one lint invocation so adding a
+    second group (the interprocedural pass) does not re-parse the tree.
+    Thread-safe: the parallel per-file driver loads distinct paths
+    concurrently.  Parse failures are cached too — a bad file raises the
+    same exception on every load without re-reading it.
+
+    Attributes:
+        parse_counts: path → number of actual ``ast.parse`` runs; the
+            parse-exactly-once invariant is ``all(v == 1 …)`` after a run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: Dict[str, FileSource] = {}
+        self._failures: Dict[str, Exception] = {}
+        self.parse_counts: Dict[str, int] = {}
+
+    def load(self, path: str) -> FileSource:
+        """The parsed source for ``path`` (cached; parses at most once).
+
+        Raises the original :class:`SyntaxError` / :class:`OSError` /
+        :class:`UnicodeDecodeError` on files that cannot be analysed.
+        """
+        with self._lock:
+            cached = self._sources.get(path)
+            if cached is not None:
+                return cached
+            failure = self._failures.get(path)
+            if failure is not None:
+                raise failure
+        # Parse outside the cache lock (ast.parse dominates the cost and
+        # releases the GIL); distinct files parse concurrently.  Two
+        # threads racing the *same* path could both parse — the driver
+        # never does that (one task per file), and the counter would
+        # expose it.
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            source = FileSource.parse(path, text)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            with self._lock:
+                self.parse_counts[path] = self.parse_counts.get(path, 0) + 1
+                self._failures[path] = exc
+            raise
+        with self._lock:
+            self.parse_counts[path] = self.parse_counts.get(path, 0) + 1
+            self._sources[path] = source
+            return source
 
 
 @dataclass
@@ -27,6 +86,8 @@ class AnalysisReport:
     findings: List[Finding] = field(default_factory=list)
     files: int = 0
     suppressed: int = 0
+    #: Findings accepted by the interproc baseline file (not failures).
+    baselined: int = 0
 
     @property
     def errors(self) -> int:
@@ -57,17 +118,23 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
 
 
 def analyze_file(
-    path: str, rules: Sequence[Rule]
+    path: str,
+    rules: Sequence[Rule],
+    cache: Optional[SourceCache] = None,
 ) -> Tuple[List[Finding], int]:
     """Analyse one file; returns (findings, suppressed-count).
 
     A file that fails to parse produces a single ``syntax-error`` finding
-    rather than aborting the whole run.
+    rather than aborting the whole run.  With a :class:`SourceCache`, the
+    parsed source is shared with (and reused by) other rule groups.
     """
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-        source = FileSource.parse(path, text)
+        if cache is not None:
+            source = cache.load(path)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            source = FileSource.parse(path, text)
     except (SyntaxError, UnicodeDecodeError, OSError) as exc:
         line = getattr(exc, "lineno", None) or 1
         return (
@@ -121,8 +188,14 @@ def run_analysis(
     rules: Optional[Sequence[Rule]] = None,
     select: Optional[Iterable[str]] = None,
     jobs: Optional[int] = None,
+    cache: Optional[SourceCache] = None,
 ) -> AnalysisReport:
-    """Run the battery over ``paths`` with parallel file walking."""
+    """Run the battery over ``paths`` with parallel file walking.
+
+    Pass a :class:`SourceCache` to share parsed ASTs with other rule
+    groups (the interprocedural pass) — each file parses exactly once
+    per invocation regardless of how many groups run.
+    """
     battery = resolve_rules(select=select, rules=rules)
     files = iter_python_files(paths)
     report = AnalysisReport(files=len(files))
@@ -131,11 +204,11 @@ def run_analysis(
     workers = jobs if jobs and jobs > 0 else min(8, (os.cpu_count() or 2))
     workers = max(1, min(workers, len(files)))
     if workers == 1:
-        results = [analyze_file(path, battery) for path in files]
+        results = [analyze_file(path, battery, cache) for path in files]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(
-                pool.map(lambda path: analyze_file(path, battery), files)
+                pool.map(lambda path: analyze_file(path, battery, cache), files)
             )
     for findings, suppressed in results:
         report.findings.extend(findings)
@@ -146,6 +219,7 @@ def run_analysis(
 
 __all__ = [
     "AnalysisReport",
+    "SourceCache",
     "analyze_file",
     "iter_python_files",
     "resolve_rules",

@@ -1,0 +1,68 @@
+"""Interprocedural (whole-program) static analyses.
+
+Where :mod:`repro.analysis.rules` checks one file at a time, this
+package builds a call graph over the whole source tree
+(:mod:`~repro.analysis.interproc.model`) and runs four program-wide
+verifications on top of it:
+
+* :mod:`~repro.analysis.interproc.lockorder` — the static
+  may-acquire-after graph over ``make_lock`` names must be acyclic
+  (``interproc-lock-order``);
+* :mod:`~repro.analysis.interproc.races` — guarded attributes of
+  thread-shared classes must be accessed under the class lock, and
+  ``*_locked`` helpers called with it held (``interproc-race``);
+* :mod:`~repro.analysis.interproc.codec` — every ``ReproError``
+  subclass must round-trip through the shard wire codec
+  (``interproc-codec``);
+* :mod:`~repro.analysis.interproc.ordering` — set iteration order must
+  not flow into plans, routing, or wire messages
+  (``interproc-determinism``).
+
+Run them via ``hdqo lint --interproc`` or programmatically through
+:func:`~repro.analysis.interproc.engine.run_interproc`.
+"""
+
+from repro.analysis.interproc.codec import CodecCompletenessAnalysis
+from repro.analysis.interproc.engine import (
+    BASELINE_FILENAME,
+    BaselineEntry,
+    InterprocReport,
+    all_analyses,
+    apply_baseline,
+    call_graph_json,
+    find_baseline,
+    interproc_rule_ids,
+    load_baseline,
+    run_interproc,
+    write_graphs,
+)
+from repro.analysis.interproc.lockorder import (
+    LockGraph,
+    LockOrderAnalysis,
+    build_lock_graph,
+)
+from repro.analysis.interproc.model import ProgramModel, build_program
+from repro.analysis.interproc.ordering import DeterminismAnalysis
+from repro.analysis.interproc.races import SharedStateRaceAnalysis
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BaselineEntry",
+    "CodecCompletenessAnalysis",
+    "DeterminismAnalysis",
+    "InterprocReport",
+    "LockGraph",
+    "LockOrderAnalysis",
+    "ProgramModel",
+    "SharedStateRaceAnalysis",
+    "all_analyses",
+    "apply_baseline",
+    "build_lock_graph",
+    "build_program",
+    "call_graph_json",
+    "find_baseline",
+    "interproc_rule_ids",
+    "load_baseline",
+    "run_interproc",
+    "write_graphs",
+]

@@ -1,0 +1,284 @@
+"""The interprocedural engine: run analyses, apply suppressions/baseline.
+
+One entry point, :func:`run_interproc`, does the whole-program half of a
+lint invocation: build the :class:`~repro.analysis.interproc.model.
+ProgramModel` (sharing the driver's parse-once :class:`~repro.analysis.
+driver.SourceCache`), run the selected analyses, then filter findings
+through two mechanisms:
+
+* **inline suppressions** — the same ``# hdqo: ignore[rule-id]``
+  comments the per-file rules honour, resolved against the finding's
+  source line;
+* **the baseline file** — a committed JSON file of *accepted* findings,
+  matched by ``(rule, key)`` (stable identities, not line numbers), each
+  carrying a one-line justification.  Baselined findings don't fail the
+  run; stale baseline entries (matching nothing) are themselves reported
+  as warnings so the file cannot rot silently.
+
+The engine also exports the two graph artifacts CI uploads: the call
+graph and the static lock-order graph, both as plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import WARNING, Finding
+from repro.analysis.driver import SourceCache
+from repro.analysis.interproc.codec import CodecCompletenessAnalysis
+from repro.analysis.interproc.lockorder import LockGraph, LockOrderAnalysis
+from repro.analysis.interproc.model import ProgramModel, build_program
+from repro.analysis.interproc.ordering import DeterminismAnalysis
+from repro.analysis.interproc.races import SharedStateRaceAnalysis
+
+#: The default baseline filename, discovered by walking up from the
+#: analyzed paths (so ``hdqo lint src/repro`` finds the repo's file).
+BASELINE_FILENAME = "lint-baseline.json"
+
+_BASELINE_RULE = "interproc-baseline"
+
+
+def all_analyses() -> List[object]:
+    """Fresh instances of the four interprocedural analyses."""
+    return [
+        LockOrderAnalysis(),
+        SharedStateRaceAnalysis(),
+        CodecCompletenessAnalysis(),
+        DeterminismAnalysis(),
+    ]
+
+
+def interproc_rule_ids() -> List[str]:
+    return [str(getattr(a, "rule_id")) for a in all_analyses()]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: matched by identity, explained by a human."""
+
+    rule: str
+    key: str
+    justification: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "key": self.key,
+            "justification": self.justification,
+        }
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a baseline file; raises ``ValueError`` on a malformed one."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path}: baseline must be an object with 'entries'")
+    entries: List[BaselineEntry] = []
+    raw_entries = payload["entries"]
+    if not isinstance(raw_entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: baseline entries must be objects")
+        rule = raw.get("rule")
+        key = raw.get("key")
+        if not isinstance(rule, str) or not isinstance(key, str) or not key:
+            raise ValueError(
+                f"{path}: baseline entries need string 'rule' and 'key'"
+            )
+        justification = raw.get("justification", "")
+        entries.append(
+            BaselineEntry(
+                rule=rule,
+                key=key,
+                justification=(
+                    justification if isinstance(justification, str) else ""
+                ),
+            )
+        )
+    return entries
+
+
+def find_baseline(paths: Sequence[str]) -> Optional[str]:
+    """Walk up from the first analyzed path looking for the baseline."""
+    for start in paths:
+        current = os.path.abspath(start)
+        if os.path.isfile(current):
+            current = os.path.dirname(current)
+        while True:
+            candidate = os.path.join(current, BASELINE_FILENAME)
+            if os.path.isfile(candidate):
+                return candidate
+            parent = os.path.dirname(current)
+            if parent == current:
+                break
+            current = parent
+    return None
+
+
+@dataclass
+class InterprocReport:
+    """Everything the whole-program half of a lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    #: Findings accepted by the baseline (not failing the run).
+    baselined: List[Finding] = field(default_factory=list)
+    graphs: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    model: Optional[ProgramModel] = None
+
+
+def run_interproc(
+    paths: Sequence[str],
+    cache: Optional[SourceCache] = None,
+    select: Optional[Iterable[str]] = None,
+    baseline_path: Optional[str] = None,
+    baseline_entries: Optional[Sequence[BaselineEntry]] = None,
+) -> InterprocReport:
+    """Run the interprocedural analyses over ``paths``.
+
+    ``select`` filters by rule id (unknown ids raise ``ValueError``, like
+    the per-file driver).  ``baseline_path`` points at an accepted-
+    findings file; pass ``baseline_entries`` to inject entries directly
+    (tests).  Suppressions are applied before the baseline, so an inline
+    ``# hdqo: ignore[...]`` never needs a baseline entry too.
+    """
+    cache = cache if cache is not None else SourceCache()
+    analyses = all_analyses()
+    if select is not None:
+        wanted = {name.strip() for name in select if name.strip()}
+        known = {str(getattr(a, "rule_id")) for a in analyses}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown interproc rule id(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+        analyses = [
+            a for a in analyses if str(getattr(a, "rule_id")) in wanted
+        ]
+
+    model = build_program(paths, cache)
+    report = InterprocReport(model=model)
+
+    raw_findings: List[Finding] = []
+    lock_graph: Optional[LockGraph] = None
+    for analysis in analyses:
+        checker = getattr(analysis, "check")
+        raw_findings.extend(checker(model))
+        if isinstance(analysis, LockOrderAnalysis):
+            lock_graph = analysis.graph
+
+    sources = {module.source.path: module.source for module in model.modules.values()}
+    survivors: List[Finding] = []
+    for finding in raw_findings:
+        source = sources.get(finding.path)
+        if source is not None and source.suppressed(finding.rule_id, finding.line):
+            report.suppressed += 1
+        else:
+            survivors.append(finding)
+
+    entries: List[BaselineEntry] = list(baseline_entries or [])
+    if baseline_path is not None and os.path.isfile(baseline_path):
+        entries.extend(load_baseline(baseline_path))
+    kept, baselined, stale = apply_baseline(survivors, entries)
+    report.findings = kept
+    report.baselined = baselined
+    for entry in stale:
+        report.findings.append(
+            Finding(
+                rule_id=_BASELINE_RULE,
+                severity=WARNING,
+                path=baseline_path or BASELINE_FILENAME,
+                line=1,
+                column=0,
+                message=(
+                    f"stale baseline entry: rule={entry.rule!r} "
+                    f"key={entry.key!r} matched no finding — remove it"
+                ),
+                key=f"baseline-stale:{entry.rule}:{entry.key}",
+            )
+        )
+    report.findings.sort(key=Finding.sort_key)
+
+    report.graphs["call-graph"] = call_graph_json(model)
+    if lock_graph is not None:
+        report.graphs["lock-graph"] = lock_graph.to_json()
+    return report
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (kept, baselined); also return stale entries."""
+    accepted: Set[Tuple[str, str]] = {(e.rule, e.key) for e in entries}
+    matched: Set[Tuple[str, str]] = set()
+    kept: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        identity = (finding.rule_id, finding.key)
+        if finding.key and identity in accepted:
+            matched.add(identity)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    stale = [e for e in entries if (e.rule, e.key) not in matched]
+    return kept, baselined, stale
+
+
+def call_graph_json(model: ProgramModel) -> Dict[str, object]:
+    """The call graph as a plain-JSON artifact (CI uploads this)."""
+    edges = sorted(
+        (caller, callee)
+        for caller, callees in model.callees.items()
+        for callee in callees
+    )
+    unresolved = sum(
+        1
+        for fn in model.functions.values()
+        for site in fn.calls
+        if not site.resolved and site.name
+    )
+    return {
+        "functions": len(model.functions),
+        "classes": len(model.classes),
+        "modules": len(model.modules),
+        "thread_roots": sorted(model.thread_roots),
+        "edges": [[caller, callee] for caller, callee in edges],
+        "unresolved_calls": unresolved,
+    }
+
+
+def write_graphs(
+    report: InterprocReport, directory: str
+) -> List[str]:
+    """Write the graph artifacts as JSON files; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for name, payload in sorted(report.graphs.items()):
+        path = os.path.join(directory, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BaselineEntry",
+    "InterprocReport",
+    "all_analyses",
+    "apply_baseline",
+    "call_graph_json",
+    "find_baseline",
+    "interproc_rule_ids",
+    "load_baseline",
+    "run_interproc",
+    "write_graphs",
+]

@@ -1,0 +1,213 @@
+"""Shared-state race analysis: unguarded access to lock-guarded attributes.
+
+The per-file ``lock-discipline`` rule proves that guarded attributes are
+*written* under a lock — within one file, for the directories it scopes.
+It cannot see the whole-program half of the story: which instances are
+actually *shared* across threads, whether ``*_locked`` helpers really are
+called with the lock held, and unguarded *reads* racing guarded writes.
+
+This analysis closes those gaps with the call graph:
+
+* a class is **shared** when any of its methods is reachable from a
+  thread/process root (a ``Thread(target=…)``, a pool submission, a
+  shard worker) — once one method runs on a worker thread, every method
+  of the instance races against it, including ones only the main thread
+  calls;
+* inside a shared class, any read *or* write of a **guarded** attribute
+  (one written under the class's lock somewhere) executed while no class
+  lock is held is flagged — the torn-read / lost-update half the
+  intraprocedural rule cannot name;
+* a call to a ``*_locked`` helper with no class lock held violates the
+  helper's documented contract ("caller holds the lock") and is flagged
+  at the call site — this is how an unguarded *write* hidden inside a
+  helper escapes the per-file rule, and how it gets caught here.
+
+``__init__`` / ``__new__`` / ``__del__`` construct or finalize the
+instance before/after it is shared and are exempt, as are the
+``*_locked`` helpers themselves (their call sites carry the obligation).
+Findings are deduplicated per (class, attribute, method): one report per
+unguarded access pattern, anchored at its first occurrence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from repro.analysis.base import ERROR, Finding
+from repro.analysis.interproc.model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ProgramModel,
+    _Resolver,
+    iter_held_events,
+    resolver_of,
+)
+
+RULE_ID = "interproc-race"
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+
+def shared_classes(model: ProgramModel) -> Set[str]:
+    """Classes with a method reachable from a thread/process root."""
+    reachable = model.reachable_from(model.thread_roots)
+    shared: Set[str] = set()
+    for qualname in reachable:
+        fn = model.functions.get(qualname)
+        if fn is not None and fn.cls is not None:
+            shared.add(fn.cls)
+    return shared
+
+
+class SharedStateRaceAnalysis:
+    """Flag unguarded guarded-attribute access in thread-shared classes."""
+
+    rule_id = RULE_ID
+    severity = ERROR
+    description = (
+        "guarded attributes of thread-shared classes must be accessed "
+        "under the class lock; *_locked helpers must be called with it held"
+    )
+
+    def check(self, model: ProgramModel) -> List[Finding]:
+        resolver = resolver_of(model)
+        shared = shared_classes(model)
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for cls_qualname in sorted(shared):
+            info = model.classes.get(cls_qualname)
+            if info is None:
+                continue
+            lock_names = self._class_locks(model, info)
+            guarded = self._guarded_attrs(model, info)
+            if not lock_names:
+                continue
+            for method_name, method_qualname in sorted(info.methods.items()):
+                fn = model.functions.get(method_qualname)
+                if fn is None:
+                    continue
+                if method_name in _EXEMPT_METHODS:
+                    continue
+                if method_name.endswith("_locked"):
+                    continue  # contract checked at call sites below
+                findings.extend(
+                    self._check_method(
+                        resolver, info, fn, method_name,
+                        lock_names, guarded, seen,
+                    )
+                )
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    # -- per-class facts ------------------------------------------------
+
+    def _class_locks(self, model: ProgramModel, info: ClassInfo) -> Set[str]:
+        names: Set[str] = set()
+        for ancestor in model.mro(info.qualname):
+            names |= set(ancestor.attr_locks.values())
+        return names
+
+    def _guarded_attrs(self, model: ProgramModel, info: ClassInfo) -> Set[str]:
+        guarded: Set[str] = set()
+        for ancestor in model.mro(info.qualname):
+            guarded |= ancestor.guarded
+        return guarded
+
+    # -- per-method walk ------------------------------------------------
+
+    def _check_method(
+        self,
+        resolver: _Resolver,
+        info: ClassInfo,
+        fn: FunctionInfo,
+        method_name: str,
+        lock_names: Set[str],
+        guarded: Set[str],
+        seen: Set[Tuple[str, str, str]],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for event in iter_held_events(resolver, fn):
+            kind = event[0]
+            if kind == "access":
+                node, attr, is_write, held = (
+                    event[1], event[2], event[3], event[4],
+                )
+                assert isinstance(attr, str) and isinstance(held, set)
+                if attr not in guarded or attr in info.attr_locks:
+                    continue
+                if held & lock_names:
+                    continue
+                dedupe = (info.qualname, attr, method_name)
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+                verb = "written" if is_write else "read"
+                lock_list = " / ".join(sorted(lock_names))
+                findings.append(
+                    self._finding(
+                        fn,
+                        node,
+                        key=f"race:{info.name}.{attr}:{method_name}",
+                        message=(
+                            f"{info.name}.{attr} {verb} without holding "
+                            f"{lock_list} in {method_name}(); the instance "
+                            f"is shared with worker threads and the "
+                            f"attribute is lock-guarded elsewhere"
+                        ),
+                    )
+                )
+            elif kind == "call":
+                site, held = event[1], event[2]
+                assert isinstance(site, CallSite) and isinstance(held, set)
+                callee_name = site.name
+                if not callee_name.endswith("_locked"):
+                    continue
+                if not _is_self_call(site):
+                    continue
+                if held & lock_names:
+                    continue
+                dedupe = (info.qualname, f"{callee_name}()", method_name)
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+                findings.append(
+                    self._finding(
+                        fn,
+                        site.node,
+                        key=f"locked-call:{info.name}.{callee_name}:{method_name}",
+                        message=(
+                            f"{info.name}.{callee_name}() called from "
+                            f"{method_name}() without holding "
+                            f"{' / '.join(sorted(lock_names))}; *_locked "
+                            f"helpers require the caller to hold the lock"
+                        ),
+                    )
+                )
+        return findings
+
+    def _finding(
+        self, fn: FunctionInfo, node: object, key: str, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=fn.source.path,
+            line=int(getattr(node, "lineno", fn.line)),
+            column=int(getattr(node, "col_offset", 0)),
+            message=message,
+            key=key,
+        )
+
+
+def _is_self_call(site: CallSite) -> bool:
+    func = site.node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    )
+
+
+__all__ = ["RULE_ID", "SharedStateRaceAnalysis", "shared_classes"]

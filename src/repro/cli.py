@@ -146,25 +146,73 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """Run the domain static-analysis battery over the repro sources.
 
     With no paths, lints the installed ``repro`` package itself — the
-    self-clean gate CI enforces.  Exits 1 when any error-severity finding
-    survives suppression (or a ``--select``-ed rule id is unknown).
+    self-clean gate CI enforces.  ``--interproc`` adds the whole-program
+    rule group (lock-order, races, codec, determinism), sharing one
+    parsed AST per file with the per-file battery.  Exits 1 when any
+    error-severity finding survives suppression and the baseline (or a
+    ``--select``-ed rule id is unknown).
     """
     import os.path
 
     import repro
     from repro.analysis import run_analysis, render_json, render_text
+    from repro.analysis.driver import SourceCache
+    from repro.analysis.interproc import (
+        all_analyses,
+        find_baseline,
+        run_interproc,
+        write_graphs,
+    )
     from repro.analysis.rules import ALL_RULES
 
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.rule_id} ({rule.severity}): {rule.description}")
+        for analysis in all_analyses():
+            print(
+                f"{analysis.rule_id} ({analysis.severity}) [interproc]: "
+                f"{analysis.description}"
+            )
         return 0
     paths = args.paths or [os.path.dirname(repro.__file__)]
     select = (
-        [name for name in args.select.split(",")] if args.select else None
+        [name.strip() for name in args.select.split(",")] if args.select
+        else None
     )
+    interproc_ids = {str(a.rule_id) for a in all_analyses()}
+    file_select = select
+    interproc_select = None
+    if select is not None and args.interproc:
+        # Partition the selection between the two rule groups.
+        interproc_select = [s for s in select if s in interproc_ids]
+        file_select = [s for s in select if s not in interproc_ids]
+    cache = SourceCache()
     try:
-        report = run_analysis(paths, select=select, jobs=args.jobs)
+        if file_select is not None and not file_select:
+            report = run_analysis(paths, rules=[], jobs=args.jobs, cache=cache)
+        else:
+            report = run_analysis(
+                paths, select=file_select, jobs=args.jobs, cache=cache
+            )
+        if args.interproc:
+            baseline = (
+                args.baseline
+                if args.baseline is not None
+                else find_baseline(paths)
+            )
+            interproc = run_interproc(
+                paths,
+                cache=cache,
+                select=interproc_select,
+                baseline_path=baseline,
+            )
+            report.findings.extend(interproc.findings)
+            report.findings.sort(key=lambda f: f.sort_key())
+            report.suppressed += interproc.suppressed
+            report.baselined = len(interproc.baselined)
+            if args.graphs_out:
+                for path in write_graphs(interproc, args.graphs_out):
+                    print(f"wrote {path}", file=sys.stderr)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -961,6 +1009,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p.add_argument(
+        "--interproc",
+        action="store_true",
+        help="also run the whole-program rule group "
+        "(lock-order, races, codec, determinism)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accepted-findings baseline file "
+        "(default: nearest lint-baseline.json above the linted paths)",
+    )
+    p.add_argument(
+        "--graphs-out",
+        metavar="DIR",
+        default=None,
+        help="write call-graph.json and lock-graph.json artifacts here "
+        "(with --interproc)",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -41,10 +41,10 @@ class JoinGraph:
     ) -> Tuple[str, ...]:
         """Variables shared between two alias groups (the join keys)."""
         left_vars: Set[str] = set()
-        for alias in left:
+        for alias in sorted(left):
             left_vars |= self.atom_variables[alias]
         right_vars: Set[str] = set()
-        for alias in right:
+        for alias in sorted(right):
             right_vars |= self.atom_variables[alias]
         return tuple(sorted(left_vars & right_vars))
 
@@ -58,7 +58,7 @@ class JoinGraph:
             frontier = [start]
             while frontier:
                 current = frontier.pop()
-                for other in list(remaining - group):
+                for other in sorted(remaining - group):
                     if self.atom_variables[current] & self.atom_variables[other]:
                         group.add(other)
                         frontier.append(other)
@@ -123,7 +123,7 @@ class JoinOrderOptimizer:
         self, component: FrozenSet[str]
     ) -> Tuple[PlanNode, JoinSizeEstimate, float]:
         best: Dict[FrozenSet[str], Tuple[float, PlanNode, JoinSizeEstimate]] = {}
-        for alias in component:
+        for alias in sorted(component):
             plan, estimate, cost = self._scan(alias)
             best[frozenset({alias})] = (cost, plan, estimate)
 
@@ -157,7 +157,7 @@ class JoinOrderOptimizer:
         self, component: FrozenSet[str]
     ) -> Tuple[PlanNode, JoinSizeEstimate, float]:
         best: Dict[FrozenSet[str], Tuple[float, PlanNode, JoinSizeEstimate]] = {}
-        for alias in component:
+        for alias in sorted(component):
             plan, estimate, cost = self._scan(alias)
             best[frozenset({alias})] = (cost, plan, estimate)
 

@@ -334,9 +334,10 @@ class Tracer:
         with self._lock:
             spans = list(self._spans)
             open_count = self._open
+            dropped = self.dropped
         return validate_span_records(
             [span.to_record() for span in spans],
-            dropped=self.dropped,
+            dropped=dropped,
             open_count=open_count,
         )
 

@@ -190,7 +190,7 @@ def fingerprint_translation(
     relation_of = {atom.name: atom.relation.lower() for atom in query.atoms}
     var_adj: Dict[str, List[Tuple[str, str]]] = {v: [] for v in query.variables}
     atom_adj: Dict[str, List[Tuple[str, str]]] = {a.name: [] for a in query.atoms}
-    for variable, alias, column in incidence:
+    for variable, alias, column in sorted(incidence):
         if variable in var_adj and alias in atom_adj:
             var_adj[variable].append((alias, column))
             atom_adj[alias].append((variable, column))

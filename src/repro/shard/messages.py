@@ -282,14 +282,16 @@ _ERROR_FIELDS: Dict[str, Tuple[str, ...]] = {
     "ServiceOverloaded": ("queued", "capacity"),
     "SqlSyntaxError": ("args0", "position"),
     "DecompositionNotFound": ("args0", "width"),
+    "ShardError": ("args0", "original_type", "shard_id"),
     "ShardUnavailable": ("args0", "shard_id", "attempts", "reason"),
+    "LockOrderViolation": ("cycle",),
 }
 
 #: Error types whose constructor takes just a message string.
 _MESSAGE_ONLY = frozenset({
     "ReproError", "HypergraphError", "QueryError", "SchemaError",
     "ExecutionError", "DecompositionError", "OptimizationError",
-    "ServiceError", "ServiceClosed", "ShardError",
+    "ServiceError", "ServiceClosed",
 })
 
 

@@ -252,7 +252,9 @@ class ShardRouter:
 
     def _await_ready(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
-        for handle in self._handles:
+        with self._lock:
+            handles = list(self._handles)
+        for handle in handles:
             while not handle.ready.wait(timeout=_POLL_SECONDS):
                 if not handle.process.is_alive():
                     self._abort_start()
@@ -272,7 +274,9 @@ class ShardRouter:
 
     def _abort_start(self) -> None:
         self._stop_collector.set()
-        for handle in self._handles:
+        with self._lock:
+            handles = list(self._handles)
+        for handle in handles:
             if handle.process.is_alive():
                 handle.process.kill()
         with self._room:
@@ -366,8 +370,8 @@ class ShardRouter:
         reroutes = 0
         while True:
             shard_id = self.route(sql)
-            handle = self._handles[shard_id]
             with self._room:
+                handle = self._handles[shard_id]
                 while (
                     not self._closed
                     and not handle.dead
@@ -475,7 +479,8 @@ class ShardRouter:
                 self._check_liveness()
                 continue
             if isinstance(message, WorkerReady):
-                handle = self._handles[message.shard_id]
+                with self._lock:
+                    handle = self._handles[message.shard_id]
                 if message.incarnation != handle.incarnation:
                     continue  # a stale incarnation's ready; ignore
                 handle.pid = message.pid
@@ -505,7 +510,8 @@ class ShardRouter:
                         (message.shard_id, message.snapshot)
                     )
             elif isinstance(message, WorkerExit):
-                handle = self._handles[message.shard_id]
+                with self._lock:
+                    handle = self._handles[message.shard_id]
                 if message.incarnation != handle.incarnation:
                     continue  # a stale incarnation's exit; ignore
                 handle.exit = message
@@ -549,7 +555,9 @@ class ShardRouter:
         workers that crash *during a restart's startup* — the not-ready
         guard applies only before supervision is active.
         """
-        for handle in list(self._handles):
+        with self._lock:
+            handles = list(self._handles)
+        for handle in handles:
             if handle.dead or handle.exited.is_set():
                 continue
             if handle.process.is_alive():
@@ -979,7 +987,11 @@ class ShardRouter:
             # either installed its handle (and is drained below) or sees
             # _closed and backs out.
             self.supervisor.stop()
-        for handle in self._handles:
+        with self._lock:
+            # Stable snapshot: the supervisor is stopped, so no further
+            # respawn can replace a slot after this point.
+            handles = list(self._handles)
+        for handle in handles:
             if not handle.dead:
                 handle.request_queue.put(
                     DrainCommand(grace_seconds=grace_seconds)
@@ -987,7 +999,7 @@ class ShardRouter:
         budget = (grace_seconds or 0.0) + _DRAIN_MARGIN
         deadline = time.monotonic() + budget
         clean = True
-        for handle in self._handles:
+        for handle in handles:
             remaining = max(0.0, deadline - time.monotonic())
             if handle.dead:
                 clean = False
@@ -1023,7 +1035,9 @@ class ShardRouter:
                         shard_id=entry.shard_id,
                     )
                 )
-        for handle in self._handles + self._dead_handles:
+        with self._lock:
+            all_handles = self._handles + self._dead_handles
+        for handle in all_handles:
             handle.request_queue.close()
             handle.request_queue.cancel_join_thread()
         self._response_queue.close()
@@ -1040,9 +1054,11 @@ class ShardRouter:
 
     def worker_exits(self) -> Dict[int, WorkerExit]:
         """Per-shard final state (only populated after :meth:`drain`)."""
+        with self._lock:
+            handles = list(self._handles)
         return {
             handle.shard_id: handle.exit
-            for handle in self._handles
+            for handle in handles
             if handle.exit is not None
         }
 
@@ -1052,14 +1068,13 @@ class ShardRouter:
         per_shard = {
             shard_id: exit_.snapshot for shard_id, exit_ in exits.items()
         }
-        return self._assemble_snapshot(
-            per_shard,
-            [
+        with self._lock:
+            missing = [
                 handle.shard_id
                 for handle in self._handles
                 if handle.exit is None
-            ],
-        )
+            ]
+        return self._assemble_snapshot(per_shard, missing)
 
     def span_records(self) -> List[Dict[str, Any]]:
         """Merged, shard-tagged span records from every worker's tracer."""

@@ -1,0 +1,595 @@
+"""The interprocedural analyzer: each analysis on seeded bad/good fixture
+packages, suppression and baseline behavior, the JSON reporter schema, the
+parse-exactly-once invariant, the dynamic-witness ⊆ static-graph soundness
+check — and the self-clean gate (zero unbaselined findings on
+``src/repro``)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.driver import SourceCache, run_analysis
+from repro.analysis.interproc import (
+    BaselineEntry,
+    build_program,
+    interproc_rule_ids,
+    find_baseline,
+    run_interproc,
+)
+from repro.analysis.interproc.lockorder import build_lock_graph
+from repro.cli import main as cli_main
+
+REPRO_SRC = str(Path(repro.__file__).parent)
+
+
+def write_fixture(tmp_path: Path, files: dict) -> Path:
+    for relpath, code in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code))
+    return tmp_path
+
+
+def interproc_report(tmp_path: Path, files: dict, **kwargs):
+    return run_interproc([str(write_fixture(tmp_path, files))], **kwargs)
+
+
+def keys(report):
+    return [finding.key for finding in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# Lock-order cycles
+# ---------------------------------------------------------------------------
+
+
+CYCLIC_LOCKS = {
+    "locks.py": """
+    from repro.analysis.lockwitness import make_lock
+
+
+    class Pair:
+        def __init__(self):
+            self._a = make_lock("Fixture.A")
+            self._b = make_lock("Fixture.B")
+
+        def forward(self):
+            with self._a:
+                self._grab_b()
+
+        def _grab_b(self):
+            with self._b:
+                pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+    """
+}
+
+ORDERED_LOCKS = {
+    "locks.py": """
+    from repro.analysis.lockwitness import make_lock
+
+
+    class Pair:
+        def __init__(self):
+            self._a = make_lock("Fixture.A")
+            self._b = make_lock("Fixture.B")
+
+        def forward(self):
+            with self._a:
+                self._grab_b()
+
+        def _grab_b(self):
+            with self._b:
+                pass
+
+        def also_forward(self):
+            with self._a:
+                with self._b:
+                    pass
+    """
+}
+
+
+class TestLockOrderAnalysis:
+    def test_opposite_acquisition_orders_are_a_cycle(self, tmp_path):
+        report = interproc_report(tmp_path, CYCLIC_LOCKS)
+        assert keys(report) == ["lock-cycle:Fixture.A->Fixture.B"]
+        (finding,) = report.findings
+        assert finding.rule_id == "interproc-lock-order"
+        # Both offending paths are named, including the transitive one.
+        assert "Fixture.A -> Fixture.B" in finding.message
+        assert "Fixture.B -> Fixture.A" in finding.message
+        assert "via" in finding.message  # the call-mediated acquisition
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = interproc_report(tmp_path, ORDERED_LOCKS)
+        assert report.findings == []
+
+    def test_lock_graph_artifact_records_edges(self, tmp_path):
+        report = interproc_report(tmp_path, CYCLIC_LOCKS)
+        graph = report.graphs["lock-graph"]
+        edges = {(e["source"], e["target"]) for e in graph["edges"]}
+        assert ("Fixture.A", "Fixture.B") in edges
+        assert ("Fixture.B", "Fixture.A") in edges
+        assert "Fixture.A" in graph["locks"]
+
+
+# ---------------------------------------------------------------------------
+# Shared-state races
+# ---------------------------------------------------------------------------
+
+
+RACY_SHARED = {
+    "shared.py": """
+    import threading
+
+    from repro.analysis.lockwitness import make_lock
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = make_lock("Fixture.Counter")
+            self.total = 0
+            self._thread = threading.Thread(target=self._run)
+
+        def _run(self):
+            with self._lock:
+                self.total += 1
+
+        def peek(self):
+            return self.total
+    """
+}
+
+GUARDED_SHARED = {
+    "shared.py": """
+    import threading
+
+    from repro.analysis.lockwitness import make_lock
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = make_lock("Fixture.Counter")
+            self.total = 0
+            self._thread = threading.Thread(target=self._run)
+
+        def _run(self):
+            with self._lock:
+                self.total += 1
+
+        def peek(self):
+            with self._lock:
+                return self.total
+    """
+}
+
+UNGUARDED_LOCKED_CALL = {
+    "shared.py": """
+    import threading
+
+    from repro.analysis.lockwitness import make_lock
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = make_lock("Fixture.Counter")
+            self.total = 0
+            self._thread = threading.Thread(target=self._run)
+
+        def _run(self):
+            with self._lock:
+                self._bump_locked()
+
+        def _bump_locked(self):
+            self.total += 1
+
+        def reset(self):
+            self._bump_locked()
+    """
+}
+
+
+class TestSharedStateRaceAnalysis:
+    def test_unguarded_read_in_shared_class_is_flagged(self, tmp_path):
+        report = interproc_report(tmp_path, RACY_SHARED)
+        assert keys(report) == ["race:Counter.total:peek"]
+        (finding,) = report.findings
+        assert finding.rule_id == "interproc-race"
+        assert "Fixture.Counter" in finding.message
+
+    def test_guarded_access_is_clean(self, tmp_path):
+        report = interproc_report(tmp_path, GUARDED_SHARED)
+        assert report.findings == []
+
+    def test_locked_helper_called_without_lock(self, tmp_path):
+        report = interproc_report(tmp_path, UNGUARDED_LOCKED_CALL)
+        assert keys(report) == ["locked-call:Counter._bump_locked:reset"]
+
+    def test_unshared_class_is_not_flagged(self, tmp_path):
+        # Same racy shape, but no thread root anywhere: single-threaded
+        # code may read its own attributes freely.
+        files = {
+            "shared.py": RACY_SHARED["shared.py"].replace(
+                "self._thread = threading.Thread(target=self._run)",
+                "self._thread = None",
+            )
+        }
+        report = interproc_report(tmp_path, files)
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Codec completeness
+# ---------------------------------------------------------------------------
+
+
+BROKEN_CODEC = {
+    "errors.py": """
+    class ReproError(Exception):
+        def __init__(self, message):
+            super().__init__(message)
+            self.message = message
+
+
+    class SiteError(ReproError):
+        def __init__(self, message, site=None):
+            super().__init__(message)
+            self.site = site
+
+
+    class ForgottenError(ReproError):
+        pass
+
+
+    class DriftError(ReproError):
+        def __init__(self, message, position=0):
+            super().__init__(message)
+            self.position = position
+
+
+    class LossyError(ReproError):
+        def __init__(self, message, extra=0):
+            super().__init__(message)
+            self.extra = extra
+    """,
+    "messages.py": """
+    _ERROR_FIELDS = {
+        "SiteError": ("args0", "site"),
+        "DriftError": ("args0", "pos"),
+        "GhostError": ("args0",),
+    }
+
+    _MESSAGE_ONLY = frozenset({"ReproError", "LossyError"})
+    """,
+}
+
+COMPLETE_CODEC = {
+    "errors.py": BROKEN_CODEC["errors.py"],
+    "messages.py": """
+    _ERROR_FIELDS = {
+        "SiteError": ("args0", "site"),
+        "DriftError": ("args0", "position"),
+        "LossyError": ("args0", "extra"),
+    }
+
+    _MESSAGE_ONLY = frozenset({"ReproError", "ForgottenError"})
+    """,
+}
+
+
+class TestCodecCompletenessAnalysis:
+    def test_broken_codec_defects_are_found(self, tmp_path):
+        report = interproc_report(tmp_path, BROKEN_CODEC)
+        assert sorted(keys(report)) == [
+            "codec-lossy:LossyError",
+            "codec-signature:DriftError",
+            "codec-stale:GhostError",
+            "codec-unregistered:ForgottenError",
+        ]
+        by_key = {f.key: f for f in report.findings}
+        assert "ShardError" in by_key["codec-unregistered:ForgottenError"].message
+        assert "'position'" in by_key["codec-signature:DriftError"].message
+        assert by_key["codec-stale:GhostError"].severity == "warning"
+        assert "extra" in by_key["codec-lossy:LossyError"].message
+
+    def test_complete_codec_is_clean(self, tmp_path):
+        report = interproc_report(tmp_path, COMPLETE_CODEC)
+        assert report.findings == []
+
+    def test_no_tables_means_no_findings(self, tmp_path):
+        report = interproc_report(
+            tmp_path, {"errors.py": BROKEN_CODEC["errors.py"]}
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Determinism (set-order into sinks)
+# ---------------------------------------------------------------------------
+
+
+SET_ORDERED_ROUTING = {
+    "router.py": """
+    def routes(shards):
+        targets = set(shards)
+        return list(targets)
+    """
+}
+
+SORTED_ROUTING = {
+    "router.py": """
+    def routes(shards):
+        targets = set(shards)
+        return sorted(targets)
+
+
+    def spread(shards):
+        targets = set(shards)
+        return min(targets), len(targets), max(targets)
+
+
+    def contains(shards, shard):
+        return shard in set(shards)
+    """
+}
+
+
+class TestDeterminismAnalysis:
+    def test_set_order_escaping_into_routing_is_flagged(self, tmp_path):
+        report = interproc_report(tmp_path, SET_ORDERED_ROUTING)
+        assert keys(report) == ["set-order:router.routes#1"]
+        (finding,) = report.findings
+        assert finding.rule_id == "interproc-determinism"
+
+    def test_order_insensitive_uses_are_clean(self, tmp_path):
+        report = interproc_report(tmp_path, SORTED_ROUTING)
+        assert report.findings == []
+
+    def test_non_sink_module_is_out_of_scope(self, tmp_path):
+        files = {"helpers.py": SET_ORDERED_ROUTING["router.py"]}
+        report = interproc_report(tmp_path, files)
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, baseline, selection
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionAndBaseline:
+    def test_inline_suppression_applies(self, tmp_path):
+        files = {
+            "shared.py": RACY_SHARED["shared.py"].replace(
+                "return self.total",
+                "return self.total  # hdqo: ignore[interproc-race]",
+            )
+        }
+        report = interproc_report(tmp_path, files)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_baseline_accepts_by_identity(self, tmp_path):
+        report = interproc_report(
+            tmp_path,
+            RACY_SHARED,
+            baseline_entries=[
+                BaselineEntry(
+                    rule="interproc-race",
+                    key="race:Counter.total:peek",
+                    justification="test",
+                )
+            ],
+        )
+        assert report.findings == []
+        assert [f.key for f in report.baselined] == [
+            "race:Counter.total:peek"
+        ]
+
+    def test_stale_baseline_entry_is_reported(self, tmp_path):
+        report = interproc_report(
+            tmp_path,
+            GUARDED_SHARED,
+            baseline_entries=[
+                BaselineEntry(
+                    rule="interproc-race", key="race:Gone.attr:method"
+                )
+            ],
+        )
+        assert keys(report) == [
+            "baseline-stale:interproc-race:race:Gone.attr:method"
+        ]
+        (finding,) = report.findings
+        assert finding.rule_id == "interproc-baseline"
+        assert finding.severity == "warning"
+
+    def test_baseline_file_is_discovered_upwards(self, tmp_path):
+        write_fixture(tmp_path, RACY_SHARED)
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "entries": [
+                        {
+                            "rule": "interproc-race",
+                            "key": "race:Counter.total:peek",
+                            "justification": "test",
+                        }
+                    ]
+                }
+            )
+        )
+        found = find_baseline([str(tmp_path / "shared.py")])
+        assert found == str(baseline)
+        report = run_interproc([str(tmp_path)], baseline_path=found)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+
+    def test_unknown_select_raises(self, tmp_path):
+        write_fixture(tmp_path, GUARDED_SHARED)
+        with pytest.raises(ValueError, match="unknown interproc rule id"):
+            run_interproc([str(tmp_path)], select=["no-such-rule"])
+
+    def test_select_restricts_analyses(self, tmp_path):
+        # Only the codec analysis runs: the race finding disappears.
+        files = dict(RACY_SHARED)
+        report = interproc_report(
+            tmp_path, files, select=["interproc-codec"]
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: flags, JSON schema, graph artifacts
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_interproc_failure_sets_exit_code(self, tmp_path, capsys):
+        write_fixture(tmp_path, RACY_SHARED)
+        assert cli_main(["lint", "--interproc", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "race:Counter.total:peek" not in out  # keys are JSON-only
+        assert "Counter.total" in out
+
+    def test_json_schema_includes_keys_and_baselined(self, tmp_path, capsys):
+        write_fixture(tmp_path, RACY_SHARED)
+        code = cli_main(
+            ["lint", "--interproc", "--format", "json", str(tmp_path)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert set(payload) == {
+            "files", "errors", "warnings", "suppressed", "baselined",
+            "ok", "findings",
+        }
+        assert payload["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["key"] == "race:Counter.total:peek"
+        assert finding["rule"] == "interproc-race"
+
+    def test_graphs_out_writes_artifacts(self, tmp_path, capsys):
+        write_fixture(tmp_path, ORDERED_LOCKS)
+        out_dir = tmp_path / "artifacts"
+        code = cli_main(
+            [
+                "lint", "--interproc", "--graphs-out", str(out_dir),
+                str(tmp_path / "locks.py"),
+            ]
+        )
+        assert code == 0
+        call_graph = json.loads((out_dir / "call-graph.json").read_text())
+        lock_graph = json.loads((out_dir / "lock-graph.json").read_text())
+        assert call_graph["functions"] > 0
+        edges = {(e["source"], e["target"]) for e in lock_graph["edges"]}
+        assert ("Fixture.A", "Fixture.B") in edges
+
+    def test_list_rules_includes_interproc_group(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in interproc_rule_ids():
+            assert rule_id in out
+        assert "[interproc]" in out
+
+    def test_without_flag_interproc_rules_do_not_run(self, tmp_path, capsys):
+        write_fixture(tmp_path, RACY_SHARED)
+        assert cli_main(["lint", str(tmp_path)]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Parse-exactly-once across rule groups
+# ---------------------------------------------------------------------------
+
+
+class TestSourceCacheSharing:
+    def test_each_file_parses_once_across_both_groups(self, tmp_path):
+        write_fixture(tmp_path, RACY_SHARED)
+        write_fixture(tmp_path, CYCLIC_LOCKS)
+        cache = SourceCache()
+        run_analysis([str(tmp_path)], cache=cache)
+        run_interproc([str(tmp_path)], cache=cache)
+        assert cache.parse_counts  # both files loaded through the cache
+        assert set(cache.parse_counts.values()) == {1}
+
+
+# ---------------------------------------------------------------------------
+# Whole-repo gates (the expensive model build happens once, shared)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def repro_report():
+    return run_interproc(
+        [REPRO_SRC], baseline_path=find_baseline([REPRO_SRC])
+    )
+
+
+class TestSelfCleanGate:
+    def test_src_repro_is_clean_modulo_baseline(self, repro_report):
+        assert repro_report.findings == []
+
+    def test_baseline_entries_are_justified(self):
+        path = find_baseline([REPRO_SRC])
+        assert path is not None
+        payload = json.loads(Path(path).read_text())
+        for entry in payload["entries"]:
+            assert entry["justification"].strip(), entry["key"]
+
+    def test_thread_roots_cover_the_serving_stack(self, repro_report):
+        roots = repro_report.model.thread_roots
+        names = {root.rsplit(".", 2)[-2] + "." + root.rsplit(".", 1)[-1]
+                 for root in roots if "." in root}
+        assert "ExecutorPool._worker" in names
+        assert "ShardRouter._collect" in names
+        assert "ShardSupervisor._run" in names
+
+
+class TestWitnessSubgraph:
+    def test_dynamic_edges_are_statically_predicted(
+        self, monkeypatch, chain_db, chain_sql
+    ):
+        """Every lock-order edge the runtime witnesses must already be in
+        the static may-acquire-after graph (soundness on exercised paths).
+        """
+        monkeypatch.setenv("HDQO_LOCKCHECK", "1")
+        from repro.analysis.lockwitness import GLOBAL_WITNESS
+        from repro.engine.dbms import COMMDB_PROFILE, SimulatedDBMS
+        from repro.service.server import QueryService
+
+        before = {
+            (held, acquired)
+            for held, succs in GLOBAL_WITNESS.edges().items()
+            for acquired in succs
+        }
+        service = QueryService(
+            SimulatedDBMS(chain_db, COMMDB_PROFILE), max_width=2, workers=2
+        )
+        try:
+            for _ in range(2):
+                service.execute(chain_sql)
+            service.snapshot()
+        finally:
+            service.close()
+        witnessed = {
+            (held, acquired)
+            for held, succs in GLOBAL_WITNESS.edges().items()
+            for acquired in succs
+        } - before
+        assert witnessed, "workload exercised no nested lock acquisitions"
+
+        model = build_program([REPRO_SRC], SourceCache())
+        static_pairs = build_lock_graph(model).pairs()
+        missing = sorted(pair for pair in witnessed if pair not in static_pairs)
+        assert not missing, (
+            "dynamically witnessed lock-order edges missing from the "
+            f"static graph: {missing}"
+        )
